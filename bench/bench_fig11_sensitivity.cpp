@@ -1,0 +1,86 @@
+// Reproduces paper Fig. 11: sensitivity of AdaQP to (a) message group size,
+// (b) λ (variance-vs-time weight), (c) bit-width re-assignment period —
+// accuracy and assignment overhead, GCN on the ogbn-products analogue with
+// 2M-4D partitioning (the paper's most accuracy-sensitive setting).
+//
+// Paper shape: smallest group size gives the best accuracy but the largest
+// overhead; λ ∈ {0,1} (single-objective endpoints) is never the best
+// accuracy; a moderate re-assignment period wins.
+#include "bench_common.h"
+
+using namespace adaqp;
+using namespace adaqp::bench;
+
+namespace {
+
+RunResult run_with(const Dataset& ds, std::size_t group_size, double lambda,
+                   int period) {
+  TrainOptions opts;
+  opts.method = Method::kAdaQP;
+  opts.epochs = epochs_for(ds.spec.name);
+  opts.seed = 7;
+  opts.assigner.group_size = group_size;
+  opts.assigner.lambda = lambda;
+  opts.reassign_period = period;
+  opts.eval_every_epoch = false;
+  const ClusterSpec cluster = cluster_for("2M-4D");
+  Rng rng(opts.seed * 7919 + 17);
+  const auto part = make_partitioner("multilevel")
+                        ->partition(ds.graph, cluster.num_devices(), rng);
+  const DistGraph dist = build_dist_graph(ds.graph, part);
+  ModelConfig mc;
+  mc.aggregator = Aggregator::kGcn;
+  mc.in_dim = ds.spec.feature_dim;
+  mc.hidden_dim = 64;
+  mc.out_dim = ds.num_classes();
+  DistTrainer trainer(ds, dist, cluster, mc, opts);
+  RunResult r = trainer.run();
+  const auto [val, test] = trainer.evaluate();
+  r.final_val_acc = val;
+  r.final_test_acc = test;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const Dataset ds = make_dataset("products_sim", 42);
+
+  // (a) group size (paper sweeps 50..10000 at full scale; ours is ~1/40).
+  Table by_group({"Group Size", "Accuracy (%)", "Assign Overhead (s)"});
+  for (std::size_t g : {2u, 16u, 64u, 256u, 1024u}) {
+    const RunResult r = run_with(ds, g, 0.5, 25);
+    by_group.add_row({std::to_string(g), Table::fmt(r.final_val_acc * 100, 2),
+                      Table::fmt(r.assign_seconds, 4)});
+    std::fprintf(stderr, "[fig11] group=%zu done\n", g);
+  }
+  emit(by_group, "Fig. 11a: sensitivity to message group size",
+       "fig11a_group_size.csv");
+
+  // (b) lambda.
+  Table by_lambda({"Lambda", "Accuracy (%)", "Throughput (epoch/s)"});
+  for (double lam : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const RunResult r = run_with(ds, 64, lam, 25);
+    by_lambda.add_row({Table::fmt(lam, 2), Table::fmt(r.final_val_acc * 100, 2),
+                       Table::fmt(r.throughput, 2)});
+    std::fprintf(stderr, "[fig11] lambda=%.2f done\n", lam);
+  }
+  emit(by_lambda, "Fig. 11b: sensitivity to lambda", "fig11b_lambda.csv");
+
+  // (c) re-assignment period.
+  Table by_period({"Period", "Accuracy (%)", "Assign Overhead (s)"});
+  for (int period : {5, 10, 25, 50}) {
+    const RunResult r = run_with(ds, 64, 0.5, period);
+    by_period.add_row({std::to_string(period),
+                       Table::fmt(r.final_val_acc * 100, 2),
+                       Table::fmt(r.assign_seconds, 4)});
+    std::fprintf(stderr, "[fig11] period=%d done\n", period);
+  }
+  emit(by_period, "Fig. 11c: sensitivity to re-assignment period",
+       "fig11c_period.csv");
+
+  std::printf("\nPaper reference: smallest group size → best accuracy but\n"
+              "highest overhead; λ endpoints (0, 1) not optimal; moderate\n"
+              "period best.\n");
+  return 0;
+}

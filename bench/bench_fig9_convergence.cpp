@@ -1,0 +1,79 @@
+// Reproduces paper Fig. 9 / Fig. 12: epoch-to-validation-accuracy curves for
+// Vanilla, PipeGCN, SANCUS and AdaQP. The paper's shape: AdaQP's curve
+// coincides with Vanilla's (same O(1/T) convergence), while the staleness
+// baselines converge more slowly.
+//
+// Emits one CSV series per (dataset, model) and prints a compact summary:
+// epochs needed to reach a target accuracy per method.
+#include "bench_common.h"
+
+using namespace adaqp;
+using namespace adaqp::bench;
+
+namespace {
+
+int epochs_to_reach(const RunResult& r, double target) {
+  for (const auto& e : r.epochs)
+    if (e.val_acc >= target) return e.epoch + 1;
+  return -1;  // never reached
+}
+
+}  // namespace
+
+int main() {
+  struct Config {
+    const char* dataset;
+    const char* setting;
+    Aggregator agg;
+  };
+  const Config configs[] = {
+      {"reddit_sim", "2M-2D", Aggregator::kGcn},
+      {"reddit_sim", "2M-2D", Aggregator::kSageMean},
+      {"products_sim", "2M-4D", Aggregator::kGcn},
+      {"products_sim", "2M-4D", Aggregator::kSageMean},
+  };
+
+  Table summary({"Dataset", "Model", "Method", "Final Val Acc(%)",
+                 "Epochs to 90% of Vanilla final"});
+  for (const auto& cfg : configs) {
+    const Dataset ds = make_dataset(cfg.dataset, 42);
+    std::vector<Method> methods = {Method::kVanilla, Method::kAdaQP};
+    methods.push_back(cfg.agg == Aggregator::kGcn ? Method::kSancus
+                                                  : Method::kPipeGCN);
+
+    std::vector<RunResult> runs;
+    for (Method m : methods)
+      runs.push_back(run_method(ds, cfg.setting, cfg.agg, m, /*seed=*/7,
+                                /*eval_every_epoch=*/true));
+
+    // CSV: epoch, then one accuracy column per method.
+    Table curve_header_builder({"epoch"});
+    std::vector<std::string> header = {"epoch"};
+    for (const auto& r : runs) header.push_back(r.method);
+    Table curves(header);
+    for (std::size_t e = 0; e < runs[0].epochs.size(); ++e) {
+      std::vector<std::string> row = {std::to_string(e)};
+      for (const auto& r : runs)
+        row.push_back(Table::fmt(r.epochs[e].val_acc * 100.0, 3));
+      curves.add_row(row);
+    }
+    const std::string csv = std::string("fig9_curve_") + cfg.dataset + "_" +
+                            (cfg.agg == Aggregator::kGcn ? "gcn" : "sage") +
+                            ".csv";
+    curves.write_csv("bench/out/" + csv);
+    std::printf("wrote bench/out/%s\n", csv.c_str());
+
+    const double target = 0.9 * runs[0].final_val_acc;
+    for (const auto& r : runs) {
+      const int reach = epochs_to_reach(r, target);
+      summary.add_row({cfg.dataset, r.model, r.method,
+                       Table::fmt(r.final_val_acc * 100.0, 2),
+                       reach < 0 ? "never" : std::to_string(reach)});
+    }
+  }
+  emit(summary, "Fig. 9 summary: convergence speed per method",
+       "fig9_summary.csv");
+  std::printf("\nPaper reference: AdaQP's curve coincides with Vanilla's;\n"
+              "PipeGCN/SANCUS need more epochs for the same accuracy.\n");
+  return 0;
+}

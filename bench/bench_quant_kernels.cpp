@@ -1,0 +1,105 @@
+// Microbenchmarks of the quantization substrate (google-benchmark): the
+// CUDA-kernel analogues of paper §3.2 — quantize, de-quantize, bit packing
+// and the message codec. Supports the claim that q/dq overhead is small
+// relative to the communication it saves (paper §5.4).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "quant/message_codec.h"
+#include "quant/quantize.h"
+#include "tensor/matrix.h"
+
+namespace {
+
+using namespace adaqp;
+
+std::vector<float> make_values(std::size_t n) {
+  Rng rng(7);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return v;
+}
+
+void BM_Quantize(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const auto values = make_values(static_cast<std::size_t>(state.range(1)));
+  Rng rng(11);
+  for (auto _ : state) {
+    auto qv = quantize(values, bits, rng);
+    benchmark::DoNotOptimize(qv.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          values.size() * sizeof(float));
+}
+BENCHMARK(BM_Quantize)
+    ->Args({2, 64})->Args({4, 64})->Args({8, 64})
+    ->Args({2, 1024})->Args({8, 1024});
+
+void BM_Dequantize(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const auto values = make_values(static_cast<std::size_t>(state.range(1)));
+  Rng rng(12);
+  const auto qv = quantize(values, bits, rng);
+  std::vector<float> out(values.size());
+  for (auto _ : state) {
+    dequantize(qv, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          values.size() * sizeof(float));
+}
+BENCHMARK(BM_Dequantize)
+    ->Args({2, 64})->Args({4, 64})->Args({8, 64})
+    ->Args({2, 1024})->Args({8, 1024});
+
+void BM_PackBits(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  Rng rng(13);
+  std::vector<std::uint32_t> values(4096);
+  for (auto& v : values)
+    v = static_cast<std::uint32_t>(rng.uniform_int(1u << bits));
+  for (auto _ : state) {
+    auto packed = pack_bits(values, bits);
+    benchmark::DoNotOptimize(packed.data());
+  }
+}
+BENCHMARK(BM_PackBits)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CodecEncode(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const std::size_t rows = 256, dim = 64;
+  Rng rng(14);
+  Matrix src(rows, dim);
+  src.fill_uniform(rng, -1.0f, 1.0f);
+  std::vector<NodeId> idx(rows);
+  for (NodeId i = 0; i < rows; ++i) idx[i] = i;
+  const std::vector<int> widths(rows, bits);
+  for (auto _ : state) {
+    auto block = encode_rows(src, idx, widths, rng);
+    benchmark::DoNotOptimize(block.bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rows * dim * sizeof(float));
+}
+BENCHMARK(BM_CodecEncode)->Arg(2)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const std::size_t rows = 256, dim = 64;
+  Rng rng(15);
+  Matrix src(rows, dim), dst(rows, dim);
+  src.fill_uniform(rng, -1.0f, 1.0f);
+  std::vector<NodeId> idx(rows);
+  for (NodeId i = 0; i < rows; ++i) idx[i] = i;
+  const std::vector<int> widths(rows, bits);
+  for (auto _ : state) {
+    auto block = encode_rows(src, idx, widths, rng);
+    decode_rows(block, dst, idx);
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+BENCHMARK(BM_CodecRoundTrip)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

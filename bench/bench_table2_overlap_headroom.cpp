@@ -1,0 +1,57 @@
+// Reproduces paper Table 2: per-device central-graph computation time vs
+// communication time of 2-bit-quantized marginal messages (ogbn-products
+// analogue, 8 partitions). The paper's claim: even at the lowest bit-width,
+// communication time still exceeds central computation time, so the central
+// graph's compute can always hide inside the communication window.
+#include "bench_common.h"
+#include "core/timing.h"
+#include "quant/message_codec.h"
+
+using namespace adaqp;
+using namespace adaqp::bench;
+
+int main() {
+  const Dataset ds = make_dataset("products_sim", 42);
+  const ClusterSpec cluster = cluster_for("2M-4D");  // 8 devices
+  Rng rng(7919 + 17);
+  const auto part = make_partitioner("multilevel")->partition(ds.graph, 8, rng);
+  const DistGraph dist = build_dist_graph(ds.graph, part);
+
+  const std::size_t hidden = 64;
+
+  // 2-bit wire volume per device pair for one hidden-layer exchange.
+  std::vector<std::vector<std::size_t>> bytes(8, std::vector<std::size_t>(8));
+  for (int d = 0; d < 8; ++d)
+    for (int p = 0; p < 8; ++p) {
+      if (d == p || dist.devices[d].send_local[p].empty()) continue;
+      const std::vector<int> bits(dist.devices[d].send_local[p].size(), 2);
+      bytes[d][p] = encoded_wire_bytes(bits.size(), hidden, bits);
+    }
+  const RingAllToAll ring(8);
+  std::vector<double> round_times;
+  ring.total_seconds(cluster, bytes, &round_times);
+
+  Table table({"Device", "Comm. (ms, 2-bit)", "Comp. (ms, central)"});
+  bool comm_always_covers = true;
+  for (int d = 0; d < 8; ++d) {
+    // Per-device comm time: its transfers across the ring rounds, counting
+    // the straggler synchronization it must sit through.
+    double comm = 0.0;
+    for (double t : round_times) comm += t;
+    const double comp = layer_forward_seconds(
+        cluster, dist.devices[d], dist.devices[d].central_nodes, hidden,
+        hidden);
+    if (comp > comm) comm_always_covers = false;
+    table.add_row({"Device" + std::to_string(d), Table::fmt(comm * 1e3, 3),
+                   Table::fmt(comp * 1e3, 3)});
+  }
+  emit(table,
+       "Table 2: central computation vs 2-bit marginal communication "
+       "(products_sim, 8 partitions)",
+       "table2_overlap_headroom.csv");
+  std::printf("\ncommunication covers central computation on every device: %s\n"
+              "Paper reference: comm 0.08-0.13s vs comp 0.04-0.06s (always "
+              "covered).\n",
+              comm_always_covers ? "YES" : "NO");
+  return comm_always_covers ? 0 : 1;
+}

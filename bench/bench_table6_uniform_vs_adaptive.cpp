@@ -1,0 +1,41 @@
+// Reproduces paper Table 6: uniform random bit-width sampling vs the
+// adaptive bi-objective assignment, on the ogbn-products analogue.
+// Paper shape: adaptive achieves higher accuracy at comparable (or better)
+// throughput; uniform sampling is not robust because it can hand low widths
+// to high-β messages.
+#include "bench_common.h"
+
+using namespace adaqp;
+using namespace adaqp::bench;
+
+int main() {
+  const Dataset ds = make_dataset("products_sim", 42);
+  Table table({"Partitions", "Model", "Method", "Accuracy (%)",
+               "Throughput (epoch/s)"});
+  for (const std::string setting : {"2M-2D", "2M-4D"}) {
+    for (Aggregator agg : {Aggregator::kGcn, Aggregator::kSageMean}) {
+      for (Method m : {Method::kAdaQPUniform, Method::kAdaQP}) {
+        // Average over three seeds as the paper does (mean reported).
+        double acc = 0.0, tp = 0.0;
+        for (std::uint64_t seed : {7ull, 8ull, 9ull}) {
+          const RunResult r = run_method(ds, setting, agg, m, seed);
+          acc += r.final_val_acc;
+          tp += r.throughput;
+        }
+        acc /= 3.0;
+        tp /= 3.0;
+        table.add_row({setting, agg == Aggregator::kGcn ? "GCN" : "GraphSAGE",
+                       m == Method::kAdaQP ? "Adaptive" : "Uniform",
+                       Table::fmt(acc * 100.0, 2), Table::fmt(tp, 2)});
+        std::fprintf(stderr, "[table6] %s %s %s done\n", setting.c_str(),
+                     agg == Aggregator::kGcn ? "GCN" : "SAGE",
+                     m == Method::kAdaQP ? "adaptive" : "uniform");
+      }
+    }
+  }
+  emit(table, "Table 6: uniform bit-width sampling vs adaptive assignment",
+       "table6_uniform_vs_adaptive.csv");
+  std::printf("\nPaper reference: adaptive wins accuracy in nearly all\n"
+              "settings (e.g. 75.32%% vs 75.03%%) at similar throughput.\n");
+  return 0;
+}

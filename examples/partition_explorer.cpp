@@ -1,0 +1,49 @@
+// Compares the graph partitioners on every benchmark dataset: edge cut,
+// balance, remote-neighbor ratio, and the central/marginal node split that
+// drives AdaQP's computation-communication overlap. This is the substrate
+// the paper delegates to METIS.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "data/datasets.h"
+#include "dist/dist_graph.h"
+#include "partition/partitioner.h"
+
+using namespace adaqp;
+
+int main(int argc, char** argv) {
+  const int k = argc > 1 ? std::atoi(argv[1]) : 4;
+  Table table({"Dataset", "Partitioner", "Edge Cut", "Cut %", "Balance",
+               "Remote Ratio", "Central %"});
+  for (const auto& spec : all_benchmark_specs()) {
+    Rng data_rng(42 ^ std::hash<std::string>{}(spec.name));
+    const Dataset ds = make_dataset(spec, data_rng);
+    for (const char* name : {"multilevel", "fennel", "range", "random"}) {
+      Rng rng(99);
+      const auto part = make_partitioner(name)->partition(ds.graph, k, rng);
+      const auto dist = build_dist_graph(ds.graph, part);
+      std::size_t central = 0, owned = 0;
+      for (const auto& dev : dist.devices) {
+        central += dev.central_nodes.size();
+        owned += dev.num_owned;
+      }
+      const auto cut = edge_cut(ds.graph, part.part_of);
+      table.add_row(
+          {spec.name, name, std::to_string(cut),
+           Table::pct(static_cast<double>(cut) /
+                      ds.graph.num_undirected_edges()),
+           Table::fmt(part.balance_factor(), 3),
+           Table::pct(dist.remote_neighbor_ratio()),
+           Table::pct(static_cast<double>(central) / owned)});
+    }
+  }
+  std::printf("%d-way partitioning of every benchmark dataset:\n\n%s", k,
+              table.to_string().c_str());
+  std::printf("\nLower cut -> fewer marginal nodes -> more computation can\n"
+              "overlap with communication (paper §3.4). Note: the synthetic\n"
+              "generators lay blocks out contiguously, so the trivial range\n"
+              "partitioner is unrealistically strong here; on graphs without\n"
+              "index locality (shuffled ids, R-MAT) multilevel dominates.\n");
+  return 0;
+}

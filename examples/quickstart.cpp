@@ -1,0 +1,53 @@
+// Quickstart: train a 3-layer GCN on a synthetic ogbn-products analogue over
+// a simulated 2-machine x 2-GPU cluster, comparing Vanilla full-precision
+// training against AdaQP's adaptive quantization + parallelization.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "comm/cluster.h"
+#include "core/trainer.h"
+#include "data/datasets.h"
+
+using namespace adaqp;
+
+int main() {
+  // 1. Materialize a dataset (synthetic analogue of ogbn-products).
+  Dataset dataset = make_dataset("products_sim", /*seed=*/42);
+  std::printf("dataset %s: %zu nodes, %zu undirected edges, %zu features, "
+              "%zu classes\n",
+              dataset.spec.name.c_str(), dataset.num_nodes(),
+              dataset.graph.num_undirected_edges(), dataset.spec.feature_dim,
+              dataset.num_classes());
+
+  // 2. Describe the simulated cluster: 2 machines x 2 devices.
+  const ClusterSpec cluster = ClusterSpec::machines(2, 2);
+
+  // 3. Train with Vanilla and with AdaQP; identical seeds and hyper-params.
+  TrainOptions opts;
+  opts.epochs = 60;
+  opts.seed = 7;
+  opts.reassign_period = 25;
+
+  opts.method = Method::kVanilla;
+  RunResult vanilla = run_training(dataset, cluster, Aggregator::kGcn, opts);
+
+  opts.method = Method::kAdaQP;
+  RunResult adaqp = run_training(dataset, cluster, Aggregator::kGcn, opts);
+
+  // 4. Report the paper's headline quantities.
+  std::printf("\n%-10s %12s %16s %14s\n", "method", "val acc", "epoch time (s)",
+              "speedup");
+  std::printf("%-10s %12.4f %16.4f %14s\n", vanilla.method.c_str(),
+              vanilla.final_val_acc, vanilla.avg_epoch_seconds, "1.00x");
+  std::printf("%-10s %12.4f %16.4f %13.2fx\n", adaqp.method.c_str(),
+              adaqp.final_val_acc, adaqp.avg_epoch_seconds,
+              vanilla.avg_epoch_seconds / adaqp.avg_epoch_seconds);
+  std::printf("\nAdaQP comm bytes: %.1f MB vs Vanilla %.1f MB (%.1f%% saved)\n",
+              adaqp.total_comm_bytes / 1e6, vanilla.total_comm_bytes / 1e6,
+              100.0 * (1.0 - static_cast<double>(adaqp.total_comm_bytes) /
+                                 vanilla.total_comm_bytes));
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "comm/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace adaqp {
+
+std::string ClusterSpec::partition_setting() const {
+  return std::to_string(num_machines) + "M-" +
+         std::to_string(devices_per_machine) + "D";
+}
+
+LinkParams ClusterSpec::link(int src, int dst) const {
+  return machine_of(src) == machine_of(dst) ? intra_machine : inter_machine;
+}
+
+double ClusterSpec::transfer_seconds(int src, int dst,
+                                     std::size_t bytes) const {
+  if (src == dst || bytes == 0) return 0.0;
+  const LinkParams l = link(src, dst);
+  return l.theta * static_cast<double>(bytes) + l.gamma;
+}
+
+double ClusterSpec::compute_seconds(double flops) const {
+  return flops / device_flops;
+}
+
+double ClusterSpec::quant_seconds(std::size_t fp_bytes) const {
+  return static_cast<double>(fp_bytes) / quant_bytes_per_sec;
+}
+
+ClusterSpec ClusterSpec::machines(int num_machines, int devices_per_machine) {
+  ADAQP_CHECK(num_machines >= 1 && devices_per_machine >= 1);
+  ClusterSpec spec;
+  spec.num_machines = num_machines;
+  spec.devices_per_machine = devices_per_machine;
+  return spec;
+}
+
+double RingAllToAll::total_seconds(
+    const ClusterSpec& cluster,
+    const std::vector<std::vector<std::size_t>>& bytes,
+    std::vector<double>* round_times) const {
+  ADAQP_CHECK(cluster.num_devices() == num_devices);
+  ADAQP_CHECK(static_cast<int>(bytes.size()) == num_devices);
+  for (const auto& row : bytes)
+    ADAQP_CHECK(static_cast<int>(row.size()) == num_devices);
+
+  if (round_times) round_times->assign(std::max(num_rounds(), 0), 0.0);
+  double total = 0.0;
+  for (int r = 1; r <= num_rounds(); ++r) {
+    double round_max = 0.0;
+    for (int i = 0; i < num_devices; ++i) {
+      const int dst = send_peer(i, r);
+      round_max = std::max(round_max,
+                           cluster.transfer_seconds(i, dst, bytes[i][dst]));
+    }
+    if (round_times) (*round_times)[r - 1] = round_max;
+    total += round_max;
+  }
+  return total;
+}
+
+}  // namespace adaqp

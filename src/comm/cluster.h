@@ -1,0 +1,88 @@
+// Simulated cluster description and communication cost model.
+//
+// The paper's testbed (2–6 machines × 4 V100/A100, 100 Gbps Ethernet) is
+// replaced by an event-level simulator: training math runs bit-exact on one
+// CPU while all *timing* claims are evaluated under an affine per-transfer
+// cost model t = θ·bytes + γ (Sarvotham et al., the same model the paper's
+// bi-objective assigner assumes). Devices on the same machine communicate
+// over a faster intra-machine link (NVLink/PCIe analogue) than across
+// machines, which reproduces the paper's xM-yD partition-setting notation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace adaqp {
+
+/// Affine link parameters: transfer time = theta * bytes + gamma.
+struct LinkParams {
+  double theta = 0.0;  ///< seconds per byte
+  double gamma = 0.0;  ///< fixed per-transfer latency in seconds
+};
+
+// Default constants are *calibrated at simulation scale*: our synthetic
+// graphs are ~1000x smaller than the paper's, so the absolute device and
+// link rates are chosen to land the dimensionless ratios the evaluation
+// depends on in the paper's regime — communication at ~65-80% of epoch time
+// (Table 1), and central-graph computation below 2-bit marginal
+// communication (Table 2). Bandwidth *ratios* (intra vs inter machine) match
+// a 100 Gbps-Ethernet + NVLink-class testbed.
+struct ClusterSpec {
+  int num_machines = 1;
+  int devices_per_machine = 1;
+
+  /// Device compute throughput in FLOP/s (fp32 GEMM-like work at the
+  /// simulation's small tile sizes).
+  double device_flops = 2.0e11;
+  /// Quantize/de-quantize kernel throughput in bytes/s of full-precision
+  /// data processed (memory-bound elementwise kernels).
+  double quant_bytes_per_sec = 8.0e10;
+
+  LinkParams intra_machine{8.0e-11, 1.0e-6};   ///< ~12.5 GB/s effective
+  LinkParams inter_machine{3.2e-10, 3.0e-6};   ///< ~3.1 GB/s per flow
+
+  int num_devices() const { return num_machines * devices_per_machine; }
+  int machine_of(int device) const { return device / devices_per_machine; }
+
+  /// "xM-yD" notation used throughout the paper's tables.
+  std::string partition_setting() const;
+
+  /// Link between two devices (intra if same machine).
+  LinkParams link(int src, int dst) const;
+  /// Transfer time for `bytes` from src to dst.
+  double transfer_seconds(int src, int dst, std::size_t bytes) const;
+  /// Compute time for `flops` floating-point operations on one device.
+  double compute_seconds(double flops) const;
+  /// Quantization (or de-quantization) kernel time for a full-precision
+  /// buffer of `fp_bytes` bytes.
+  double quant_seconds(std::size_t fp_bytes) const;
+
+  /// The paper's main testbed: 2 machines x (y) GPUs.
+  static ClusterSpec machines(int num_machines, int devices_per_machine);
+};
+
+/// Ring all2all schedule (paper Fig. 8): N-1 synchronized rounds; in round r
+/// (1-based) device i sends to (i + r) mod N and receives from (i - r) mod N.
+struct RingAllToAll {
+  int num_devices = 0;
+
+  explicit RingAllToAll(int n) : num_devices(n) {}
+  int num_rounds() const { return num_devices - 1; }
+  int send_peer(int device, int round) const {
+    return (device + round) % num_devices;
+  }
+  int recv_peer(int device, int round) const {
+    return (device - round % num_devices + num_devices) % num_devices;
+  }
+
+  /// Straggler-synchronized total time for one all2all with the given
+  /// per-pair payloads: each round completes when its slowest transfer does.
+  /// `bytes[i][j]` is the payload device i sends to device j (diagonal
+  /// ignored). Returns total seconds and optionally per-round maxima.
+  double total_seconds(const ClusterSpec& cluster,
+                       const std::vector<std::vector<std::size_t>>& bytes,
+                       std::vector<double>* round_times = nullptr) const;
+};
+
+}  // namespace adaqp

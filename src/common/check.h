@@ -1,0 +1,37 @@
+// Lightweight runtime-check macros used across the library.
+//
+// ADAQP_CHECK is always on (it guards API contracts and data-integrity
+// invariants such as codec stream bounds); failures throw std::runtime_error
+// with file/line context so callers and tests can observe them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace adaqp::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw std::runtime_error(oss.str());
+}
+
+}  // namespace adaqp::detail
+
+#define ADAQP_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::adaqp::detail::check_failed(#cond, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define ADAQP_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream oss_;                                             \
+      oss_ << msg;                                                         \
+      ::adaqp::detail::check_failed(#cond, __FILE__, __LINE__, oss_.str());\
+    }                                                                      \
+  } while (0)

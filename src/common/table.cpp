@@ -1,0 +1,96 @@
+#include "common/table.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace adaqp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ADAQP_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ADAQP_CHECK_MSG(cells.size() == header_.size(),
+                  "row arity " << cells.size() << " != header arity "
+                               << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    oss << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      oss << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+          << row[c] << " |";
+    oss << '\n';
+  };
+  emit_row(header_);
+  oss << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    oss << std::string(widths[c] + 2, '-') << "|";
+  oss << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) oss << ',';
+      oss << csv_escape(row[c]);
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  write_text_file(path, to_csv());
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string Table::pct(double v, int precision) {
+  return fmt(v * 100.0, precision) + "%";
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  ADAQP_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << text;
+}
+
+}  // namespace adaqp

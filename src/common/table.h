@@ -1,0 +1,41 @@
+// Console table and CSV emission used by the benchmark harness to print the
+// same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adaqp {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Render as CSV (RFC-4180-ish quoting of commas/quotes).
+  std::string to_csv() const;
+
+  /// Write CSV to a file path, creating parent directories if needed.
+  void write_csv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double v, int precision = 2);  // 0.41 -> "41.00%"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Write arbitrary text to `path`, creating parent directories.
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace adaqp

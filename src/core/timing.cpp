@@ -1,0 +1,24 @@
+#include "core/timing.h"
+
+namespace adaqp {
+
+double layer_forward_seconds(const ClusterSpec& cluster, const DeviceGraph& dev,
+                             std::span<const NodeId> rows, std::size_t in_dim,
+                             std::size_t out_dim) {
+  const double flops = aggregate_flops(dev, rows, in_dim) +
+                       dense_flops(rows.size(), in_dim, out_dim) +
+                       epilogue_flops(rows.size(), out_dim);
+  return cluster.compute_seconds(flops);
+}
+
+double layer_backward_seconds(const ClusterSpec& cluster,
+                              const DeviceGraph& dev,
+                              std::span<const NodeId> rows, std::size_t in_dim,
+                              std::size_t out_dim) {
+  const double flops = 2.0 * dense_flops(rows.size(), in_dim, out_dim) +
+                       aggregate_flops(dev, rows, in_dim) +
+                       2.0 * epilogue_flops(rows.size(), out_dim);
+  return cluster.compute_seconds(flops);
+}
+
+}  // namespace adaqp

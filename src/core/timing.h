@@ -1,0 +1,30 @@
+// Compute-time model for simulated devices.
+//
+// Converts the FLOP counts of a GNN layer's forward/backward work on a set
+// of owned rows into seconds under the ClusterSpec's device throughput.
+// Used both by the trainers (epoch composition) and directly by the benches
+// reproducing Table 2 / Fig. 3 (central-vs-marginal computation headroom).
+#pragma once
+
+#include <span>
+
+#include "comm/cluster.h"
+#include "dist/dist_graph.h"
+#include "gnn/aggregate.h"
+
+namespace adaqp {
+
+/// Forward compute seconds for one layer restricted to `rows`:
+/// aggregation over incident edges + dense transform + row-wise epilogue.
+double layer_forward_seconds(const ClusterSpec& cluster, const DeviceGraph& dev,
+                             std::span<const NodeId> rows, std::size_t in_dim,
+                             std::size_t out_dim);
+
+/// Backward compute seconds: dW and dX GEMMs (2x dense), adjoint
+/// aggregation, and epilogue derivative work.
+double layer_backward_seconds(const ClusterSpec& cluster,
+                              const DeviceGraph& dev,
+                              std::span<const NodeId> rows, std::size_t in_dim,
+                              std::size_t out_dim);
+
+}  // namespace adaqp

@@ -1,0 +1,694 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/timing.h"
+#include "gnn/loss.h"
+#include "quant/message_codec.h"
+
+namespace adaqp {
+
+std::string method_name(Method method) {
+  switch (method) {
+    case Method::kVanilla: return "Vanilla";
+    case Method::kAdaQP: return "AdaQP";
+    case Method::kAdaQPUniform: return "AdaQP-Uniform";
+    case Method::kPipeGCN: return "PipeGCN-like";
+    case Method::kSancus: return "SANCUS-like";
+  }
+  return "?";
+}
+
+void EpochBreakdown::accumulate(const EpochBreakdown& other) {
+  comm += other.comm;
+  comp += other.comp;
+  quant += other.quant;
+  total += other.total;
+}
+
+namespace {
+
+/// Ring allreduce time for `bytes` of model gradients (numerics are already
+/// exact because devices share one weight/grad store).
+double allreduce_seconds(const ClusterSpec& cluster, std::size_t bytes) {
+  const int n = cluster.num_devices();
+  if (n <= 1) return 0.0;
+  double worst_theta = 0.0, worst_gamma = 0.0;
+  for (int d = 0; d < n; ++d) {
+    const LinkParams l = cluster.link(d, (d + 1) % n);
+    worst_theta = std::max(worst_theta, l.theta);
+    worst_gamma = std::max(worst_gamma, l.gamma);
+  }
+  const double chunk = static_cast<double>(bytes) / n;
+  return 2.0 * (n - 1) * (worst_theta * chunk + worst_gamma);
+}
+
+}  // namespace
+
+DistTrainer::DistTrainer(const Dataset& dataset, const DistGraph& dist,
+                         const ClusterSpec& cluster,
+                         const ModelConfig& model_config,
+                         const TrainOptions& opts)
+    : dataset_(dataset),
+      dist_(dist),
+      cluster_(cluster),
+      opts_(opts),
+      master_rng_(opts.seed),
+      model_(model_config, master_rng_),
+      adam_(opts.adam) {
+  num_devices_ = dist_.num_devices();
+  num_layers_ = model_.num_layers();
+  ADAQP_CHECK(cluster_.num_devices() == num_devices_);
+  ADAQP_CHECK(model_config.in_dim == dataset.spec.feature_dim);
+
+  for (int d = 0; d < num_devices_; ++d)
+    device_rngs_.push_back(master_rng_.split());
+
+  features_ = scatter_to_devices(dataset_.features, dist_);
+
+  // Per-device training rows, labels and targets.
+  std::vector<std::uint8_t> is_train(dataset_.num_nodes(), 0);
+  for (auto v : dataset_.train_nodes) is_train[v] = 1;
+  global_train_count_ = static_cast<double>(dataset_.train_nodes.size());
+  train_rows_.resize(num_devices_);
+  train_labels_.resize(num_devices_);
+  train_targets_.resize(num_devices_);
+  for (int d = 0; d < num_devices_; ++d) {
+    const DeviceGraph& dev = dist_.devices[d];
+    std::vector<std::uint32_t>& rows = train_rows_[d];
+    for (std::size_t i = 0; i < dev.num_owned; ++i) {
+      const NodeId g = dev.global_of_local[i];
+      if (!is_train[g]) continue;
+      rows.push_back(static_cast<std::uint32_t>(i));
+      train_labels_[d].push_back(dataset_.labels[g]);
+    }
+    if (dataset_.spec.multi_label) {
+      Matrix targets(rows.size(), dataset_.num_classes());
+      std::size_t at = 0;
+      for (std::size_t i = 0; i < dev.num_owned; ++i) {
+        const NodeId g = dev.global_of_local[i];
+        if (!is_train[g]) continue;
+        const auto src = dataset_.label_matrix.row(g);
+        std::copy(src.begin(), src.end(), targets.row(at++).begin());
+      }
+      train_targets_[d] = std::move(targets);
+    }
+  }
+
+  // Activation buffers and caches.
+  acts_.resize(num_layers_ + 1);
+  caches_.resize(num_layers_);
+  acts_[0] = features_;
+  for (int l = 1; l <= num_layers_; ++l) {
+    const std::size_t dim = model_.layer_out_dim(l - 1);
+    acts_[l].reserve(num_devices_);
+    for (int d = 0; d < num_devices_; ++d)
+      acts_[l].emplace_back(dist_.devices[d].num_local(), dim);
+  }
+  for (int l = 0; l < num_layers_; ++l) caches_[l].resize(num_devices_);
+
+  // Plans: everything starts full-precision; quantizing methods refresh
+  // after the first traced epoch.
+  fwd_plans_.resize(num_layers_);
+  bwd_plans_.resize(num_layers_);
+  for (int l = 0; l < num_layers_; ++l) {
+    fwd_plans_[l] = ExchangePlan::uniform_forward(dist_, 32);
+    bwd_plans_[l] = ExchangePlan::uniform_backward(dist_, 32);
+  }
+  fwd_ranges_.resize(num_layers_);
+  bwd_ranges_.resize(num_layers_);
+
+  if (opts_.method == Method::kPipeGCN) {
+    pending_grads_.resize(num_layers_);
+    for (int l = 1; l < num_layers_; ++l) {
+      const std::size_t dim = model_.layer_in_dim(l);
+      for (int d = 0; d < num_devices_; ++d)
+        pending_grads_[l].emplace_back(dist_.devices[d].num_owned, dim);
+    }
+  }
+  if (opts_.method == Method::kSancus) {
+    sancus_last_bcast_.resize(num_layers_);
+    sancus_staleness_.assign(num_layers_,
+                             std::vector<int>(num_devices_, 1 << 20));
+    sancus_bcast_now_.assign(num_layers_,
+                             std::vector<bool>(num_devices_, false));
+    for (int l = 0; l < num_layers_; ++l)
+      sancus_last_bcast_[l].resize(num_devices_);
+  }
+}
+
+double DistTrainer::compute_seconds(int layer, bool backward,
+                                    bool central_only, int device) const {
+  const DeviceGraph& dev = dist_.devices[device];
+  std::span<const NodeId> rows;
+  std::vector<NodeId> all;
+  if (central_only) {
+    rows = dev.central_nodes;
+  } else {
+    all.resize(dev.num_owned);
+    for (std::size_t i = 0; i < all.size(); ++i)
+      all[i] = static_cast<NodeId>(i);
+    rows = all;
+  }
+  const std::size_t in = model_.layer_in_dim(layer);
+  const std::size_t out = model_.layer_out_dim(layer);
+  return backward ? layer_backward_seconds(cluster_, dev, rows, in, out)
+                  : layer_forward_seconds(cluster_, dev, rows, in, out);
+}
+
+double DistTrainer::max_compute_seconds(int layer, bool backward,
+                                        bool central_only) const {
+  double m = 0.0;
+  for (int d = 0; d < num_devices_; ++d)
+    m = std::max(m, compute_seconds(layer, backward, central_only, d));
+  return m;
+}
+
+double DistTrainer::marginal_compute_seconds_max(int layer,
+                                                 bool backward) const {
+  double m = 0.0;
+  const std::size_t in = model_.layer_in_dim(layer);
+  const std::size_t out = model_.layer_out_dim(layer);
+  for (int d = 0; d < num_devices_; ++d) {
+    const DeviceGraph& dev = dist_.devices[d];
+    const double s =
+        backward
+            ? layer_backward_seconds(cluster_, dev, dev.marginal_nodes, in, out)
+            : layer_forward_seconds(cluster_, dev, dev.marginal_nodes, in, out);
+    m = std::max(m, s);
+  }
+  return m;
+}
+
+EpochBreakdown DistTrainer::forward_exchange(int l) {
+  EpochBreakdown bd;
+  const bool trace = true;
+  if (trace) {
+    fwd_ranges_[l].resize(num_devices_);
+    for (int d = 0; d < num_devices_; ++d)
+      fwd_ranges_[l][d] = row_ranges_of(acts_[l][d]);
+  }
+
+  switch (opts_.method) {
+    case Method::kVanilla: {
+      const auto plan = ExchangePlan::uniform_forward(dist_, 32);
+      const ExchangeStats stats = exchange_halo_forward(
+          dist_, acts_[l], plan, cluster_, device_rngs_);
+      total_comm_bytes_ += stats.total_bytes();
+      if (l == 0) last_layer1_pair_bytes_ = stats.pair_bytes;
+      const double comp = max_compute_seconds(l, false, false);
+      bd.comm = stats.comm_seconds;
+      bd.comp = comp;
+      bd.total = stats.comm_seconds + comp;
+      return bd;
+    }
+    case Method::kAdaQP:
+    case Method::kAdaQPUniform: {
+      const ExchangeStats stats = exchange_halo_forward(
+          dist_, acts_[l], fwd_plans_[l], cluster_, device_rngs_);
+      total_comm_bytes_ += stats.total_bytes();
+      if (l == 0) last_layer1_pair_bytes_ = stats.pair_bytes;
+      const double central = max_compute_seconds(l, false, true);
+      const double marginal = marginal_compute_seconds_max(l, false);
+      const double tq = stats.max_quant_seconds();
+      const double tdq = stats.max_dequant_seconds();
+      bd.comm = stats.comm_seconds;
+      bd.comp = marginal;  // central comp hides inside communication
+      bd.quant = tq + tdq;
+      bd.total = tq + std::max(stats.comm_seconds, central) + tdq + marginal;
+      return bd;
+    }
+    case Method::kPipeGCN: {
+      const double comp = max_compute_seconds(l, false, false);
+      if (!pipegcn_warm_) {
+        // Cold start: synchronous full-precision exchange before compute.
+        const auto plan = ExchangePlan::uniform_forward(dist_, 32);
+        const ExchangeStats stats = exchange_halo_forward(
+            dist_, acts_[l], plan, cluster_, device_rngs_);
+        total_comm_bytes_ += stats.total_bytes();
+        if (l == 0) last_layer1_pair_bytes_ = stats.pair_bytes;
+        bd.comm = stats.comm_seconds;
+        bd.comp = comp;
+        bd.total = stats.comm_seconds + comp;
+        return bd;
+      }
+      // Warm pipeline: compute with the halo rows delivered last epoch, and
+      // exchange the current owned rows for *next* epoch, hidden inside the
+      // computation time. Numerically the exchange runs after this layer's
+      // compute (see forward_pass), so here we only account the overlap.
+      bd.comp = comp;
+      bd.total = comp;  // comm contribution added by the deferred exchange
+      return bd;
+    }
+    case Method::kSancus: {
+      // Broadcast-skipping: each device broadcasts its boundary rows only
+      // when they drifted enough or staleness hit the cap.
+      std::vector<std::vector<std::size_t>> pair_bytes(
+          num_devices_, std::vector<std::size_t>(num_devices_, 0));
+      double comm = 0.0;
+      for (int d = 0; d < num_devices_; ++d) {
+        const DeviceGraph& dev = dist_.devices[d];
+        // Collect this device's outgoing boundary rows.
+        std::vector<NodeId> boundary;
+        for (int p = 0; p < num_devices_; ++p)
+          boundary.insert(boundary.end(), dev.send_local[p].begin(),
+                          dev.send_local[p].end());
+        std::sort(boundary.begin(), boundary.end());
+        boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                       boundary.end());
+        bool bcast = true;
+        Matrix snapshot(boundary.size(), acts_[l][d].cols());
+        for (std::size_t i = 0; i < boundary.size(); ++i) {
+          const auto src = acts_[l][d].row(boundary[i]);
+          std::copy(src.begin(), src.end(), snapshot.row(i).begin());
+        }
+        if (sancus_staleness_[l][d] < opts_.sancus_max_staleness &&
+            sancus_last_bcast_[l][d].same_shape(snapshot)) {
+          const double base = sancus_last_bcast_[l][d].frobenius_norm();
+          Matrix diff = snapshot;
+          diff.axpy_inplace(-1.0f, sancus_last_bcast_[l][d]);
+          const double drift = diff.frobenius_norm() / (base + 1e-12);
+          bcast = drift > opts_.sancus_drift_threshold;
+        }
+        sancus_bcast_now_[l][d] = bcast;
+        if (!bcast) {
+          sancus_staleness_[l][d]++;
+          continue;
+        }
+        sancus_staleness_[l][d] = 0;
+        sancus_last_bcast_[l][d] = std::move(snapshot);
+        // Deliver full-precision rows to each peer; sequential broadcast
+        // cost (the inefficiency the paper calls out in §5.1).
+        for (int p = 0; p < num_devices_; ++p) {
+          if (p == d || dev.send_local[p].empty()) continue;
+          std::vector<int> bits(dev.send_local[p].size(), 32);
+          const EncodedBlock block =
+              encode_rows(acts_[l][d], dev.send_local[p], bits,
+                          device_rngs_[d]);
+          pair_bytes[d][p] = block.wire_bytes();
+          comm += cluster_.transfer_seconds(d, p, block.wire_bytes());
+          decode_rows(block, acts_[l][p], dist_.devices[p].recv_local[d]);
+        }
+      }
+      for (const auto& row : pair_bytes)
+        for (std::size_t b : row) total_comm_bytes_ += b;
+      if (l == 0) last_layer1_pair_bytes_ = pair_bytes;
+      const double comp = max_compute_seconds(l, false, false);
+      bd.comm = comm;
+      bd.comp = comp;
+      bd.total = comm + comp;
+      return bd;
+    }
+  }
+  return bd;
+}
+
+EpochBreakdown DistTrainer::backward_exchange(int l,
+                                              std::vector<Matrix>& grads) {
+  EpochBreakdown bd;
+  // Trace gradient ranges for the assigner before any mutation.
+  bwd_ranges_[l].resize(num_devices_);
+  for (int d = 0; d < num_devices_; ++d)
+    bwd_ranges_[l][d] = row_ranges_of(grads[d]);
+
+  switch (opts_.method) {
+    case Method::kVanilla: {
+      const auto plan = ExchangePlan::uniform_backward(dist_, 32);
+      const ExchangeStats stats =
+          exchange_halo_backward(dist_, grads, plan, cluster_, device_rngs_);
+      total_comm_bytes_ += stats.total_bytes();
+      bd.comm = stats.comm_seconds;
+      bd.total = stats.comm_seconds;
+      return bd;
+    }
+    case Method::kAdaQP:
+    case Method::kAdaQPUniform: {
+      const ExchangeStats stats = exchange_halo_backward(
+          dist_, grads, bwd_plans_[l], cluster_, device_rngs_);
+      total_comm_bytes_ += stats.total_bytes();
+      const double central = max_compute_seconds(l, true, true);
+      const double tq = stats.max_quant_seconds();
+      const double tdq = stats.max_dequant_seconds();
+      bd.comm = stats.comm_seconds;
+      bd.quant = tq + tdq;
+      // The preceding layer's central backward hides in this comm window;
+      // composition happens in backward_pass.
+      bd.total = tq + std::max(stats.comm_seconds, central) + tdq;
+      return bd;
+    }
+    case Method::kPipeGCN: {
+      // Stale gradient pipeline: remote contributions computed this epoch
+      // are delivered next epoch; last epoch's arrive now.
+      std::vector<Matrix> scratch;
+      scratch.reserve(num_devices_);
+      for (int d = 0; d < num_devices_; ++d) {
+        Matrix s(grads[d].rows(), grads[d].cols());
+        const DeviceGraph& dev = dist_.devices[d];
+        for (std::size_t h = dev.num_owned; h < dev.num_local(); ++h) {
+          const auto src = grads[d].row(h);
+          std::copy(src.begin(), src.end(), s.row(h).begin());
+        }
+        scratch.push_back(std::move(s));
+      }
+      const auto plan = ExchangePlan::uniform_backward(dist_, 32);
+      const ExchangeStats stats =
+          exchange_halo_backward(dist_, scratch, plan, cluster_, device_rngs_);
+      total_comm_bytes_ += stats.total_bytes();
+      for (int d = 0; d < num_devices_; ++d) {
+        const DeviceGraph& dev = dist_.devices[d];
+        // Apply last epoch's pending remote grads, then bank this epoch's.
+        if (pipegcn_warm_) {
+          for (std::size_t i = 0; i < dev.num_owned; ++i) {
+            auto dst = grads[d].row(i);
+            const auto src = pending_grads_[l][d].row(i);
+            for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
+          }
+        }
+        for (std::size_t i = 0; i < dev.num_owned; ++i) {
+          const auto src = scratch[d].row(i);
+          std::copy(src.begin(), src.end(),
+                    pending_grads_[l][d].row(i).begin());
+        }
+        // Drop halo grads locally (they were shipped).
+        for (std::size_t h = dev.num_owned; h < dev.num_local(); ++h) {
+          auto row = grads[d].row(h);
+          std::fill(row.begin(), row.end(), 0.0f);
+        }
+      }
+      bd.comm = stats.comm_seconds;
+      bd.total = 0.0;  // hidden inside compute; composed in backward_pass
+      return bd;
+    }
+    case Method::kSancus: {
+      // Remote gradients only flow toward owners that broadcast fresh
+      // embeddings this epoch; contributions to stale owners are dropped
+      // (the gradient bias that slows SANCUS's convergence).
+      std::vector<std::vector<std::size_t>> pair_bytes(
+          num_devices_, std::vector<std::size_t>(num_devices_, 0));
+      for (int d = 0; d < num_devices_; ++d) {
+        const DeviceGraph& dev = dist_.devices[d];
+        for (int p = 0; p < num_devices_; ++p) {
+          if (p == d || dev.recv_local[p].empty()) continue;
+          if (!sancus_bcast_now_[l][p]) continue;
+          std::vector<int> bits(dev.recv_local[p].size(), 32);
+          const EncodedBlock block = encode_rows(
+              grads[d], dev.recv_local[p], bits, device_rngs_[d]);
+          pair_bytes[d][p] = block.wire_bytes();
+          // Accumulate into the owner's owned rows.
+          const auto& rows = dist_.devices[p].send_local[d];
+          Matrix tmp(rows.size(), grads[p].cols());
+          std::vector<NodeId> seq(rows.size());
+          for (std::size_t i = 0; i < seq.size(); ++i)
+            seq[i] = static_cast<NodeId>(i);
+          decode_rows(block, tmp, seq);
+          for (std::size_t i = 0; i < rows.size(); ++i) {
+            auto dst = grads[p].row(rows[i]);
+            const auto src = tmp.row(i);
+            for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
+          }
+        }
+      }
+      double comm = 0.0;
+      for (int d = 0; d < num_devices_; ++d)
+        for (int p = 0; p < num_devices_; ++p) {
+          total_comm_bytes_ += pair_bytes[d][p];
+          comm += cluster_.transfer_seconds(d, p, pair_bytes[d][p]);
+        }
+      for (int d = 0; d < num_devices_; ++d) {
+        const DeviceGraph& dev = dist_.devices[d];
+        for (std::size_t h = dev.num_owned; h < dev.num_local(); ++h) {
+          auto row = grads[d].row(h);
+          std::fill(row.begin(), row.end(), 0.0f);
+        }
+      }
+      bd.comm = comm;
+      bd.total = comm;
+      return bd;
+    }
+  }
+  return bd;
+}
+
+EpochBreakdown DistTrainer::forward_pass(bool training, double* loss_out) {
+  EpochBreakdown total;
+  for (int l = 0; l < num_layers_; ++l) {
+    EpochBreakdown stage = forward_exchange(l);
+    for (int d = 0; d < num_devices_; ++d)
+      model_.layer(l).forward(dist_.devices[d], acts_[l][d], acts_[l + 1][d],
+                              caches_[l][d], device_rngs_[d], training);
+    if (opts_.method == Method::kPipeGCN && pipegcn_warm_) {
+      // Deferred exchange: ship the (already-consumed) inputs so next
+      // epoch's halos are one-epoch stale; comm hides inside this layer's
+      // computation time.
+      const auto plan = ExchangePlan::uniform_forward(dist_, 32);
+      const ExchangeStats stats = exchange_halo_forward(
+          dist_, acts_[l], plan, cluster_, device_rngs_);
+      total_comm_bytes_ += stats.total_bytes();
+      if (l == 0) last_layer1_pair_bytes_ = stats.pair_bytes;
+      stage.comm = stats.comm_seconds;
+      stage.total = std::max(stage.comp, stats.comm_seconds);
+    }
+    total.accumulate(stage);
+  }
+
+  if (loss_out) {
+    double loss = 0.0;
+    for (int d = 0; d < num_devices_; ++d) {
+      // Loss value only (gradient handled in backward_pass).
+      Matrix dummy(acts_[num_layers_][d].rows(), acts_[num_layers_][d].cols());
+      if (!dataset_.spec.multi_label) {
+        loss += softmax_cross_entropy(acts_[num_layers_][d], train_rows_[d],
+                                      train_labels_[d], global_train_count_,
+                                      dummy);
+      } else {
+        loss += bce_with_logits(acts_[num_layers_][d], train_rows_[d],
+                                train_targets_[d], global_train_count_, dummy);
+      }
+    }
+    *loss_out = loss / global_train_count_;
+  }
+  return total;
+}
+
+EpochBreakdown DistTrainer::backward_pass() {
+  EpochBreakdown total;
+
+  // Loss gradients wrt logits.
+  std::vector<Matrix> grads;
+  grads.reserve(num_devices_);
+  for (int d = 0; d < num_devices_; ++d) {
+    Matrix g(acts_[num_layers_][d].rows(), acts_[num_layers_][d].cols());
+    if (!dataset_.spec.multi_label) {
+      softmax_cross_entropy(acts_[num_layers_][d], train_rows_[d],
+                            train_labels_[d], global_train_count_, g);
+    } else {
+      bce_with_logits(acts_[num_layers_][d], train_rows_[d], train_targets_[d],
+                      global_train_count_, g);
+    }
+    grads.push_back(std::move(g));
+  }
+
+  for (int l = num_layers_ - 1; l >= 0; --l) {
+    std::vector<Matrix> grad_x(num_devices_);
+    for (int d = 0; d < num_devices_; ++d)
+      model_.layer(l).backward(dist_.devices[d], grads[d], caches_[l][d],
+                               grad_x[d]);
+    EpochBreakdown stage;
+    const double comp_all = max_compute_seconds(l, true, false);
+    if (l > 0) {
+      stage = backward_exchange(l, grad_x);
+      switch (opts_.method) {
+        case Method::kVanilla:
+        case Method::kSancus:
+          stage.comp = comp_all;
+          stage.total += comp_all;
+          break;
+        case Method::kAdaQP:
+        case Method::kAdaQPUniform:
+          stage.comp = marginal_compute_seconds_max(l, true);
+          stage.total += stage.comp;
+          break;
+        case Method::kPipeGCN:
+          stage.comp = comp_all;
+          stage.total = std::max(comp_all, stage.comm);
+          break;
+      }
+    } else {
+      stage.comp = comp_all;
+      stage.total = comp_all;
+    }
+    total.accumulate(stage);
+    grads = std::move(grad_x);
+  }
+  return total;
+}
+
+void DistTrainer::refresh_plans() {
+  if (opts_.method == Method::kAdaQP) {
+    const Aggregator agg = model_.config().aggregator;
+    for (int l = 0; l < num_layers_; ++l) {
+      if (fwd_ranges_[l].empty()) continue;
+      AssignReport report;
+      fwd_plans_[l] = assign_bit_widths(dist_, cluster_, agg,
+                                        Direction::kForward, fwd_ranges_[l],
+                                        model_.layer_in_dim(l),
+                                        opts_.assigner, &report);
+      assign_seconds_ +=
+          report.solve_wall_seconds + report.sim_gather_scatter_seconds;
+    }
+    for (int l = 1; l < num_layers_; ++l) {
+      if (bwd_ranges_[l].empty()) continue;
+      AssignReport report;
+      bwd_plans_[l] = assign_bit_widths(dist_, cluster_, agg,
+                                        Direction::kBackward, bwd_ranges_[l],
+                                        model_.layer_in_dim(l),
+                                        opts_.assigner, &report);
+      assign_seconds_ +=
+          report.solve_wall_seconds + report.sim_gather_scatter_seconds;
+    }
+  } else if (opts_.method == Method::kAdaQPUniform) {
+    for (int l = 0; l < num_layers_; ++l)
+      fwd_plans_[l] =
+          sample_uniform_plan(dist_, Direction::kForward, master_rng_);
+    for (int l = 1; l < num_layers_; ++l)
+      bwd_plans_[l] =
+          sample_uniform_plan(dist_, Direction::kBackward, master_rng_);
+  }
+}
+
+EpochRecord DistTrainer::train_epoch() {
+  EpochRecord rec;
+  rec.epoch = epoch_;
+
+  model_.zero_grad();
+  double loss = 0.0;
+  EpochBreakdown fwd = forward_pass(/*training=*/true, &loss);
+  EpochBreakdown bwd = backward_pass();
+  rec.train_loss = loss;
+
+  // Model-gradient synchronization (numerics already global; timing only).
+  const double sync = allreduce_seconds(cluster_, model_.grad_bytes());
+  adam_.step(model_.params());
+
+  rec.time = fwd;
+  rec.time.accumulate(bwd);
+  rec.time.comm += sync;
+  rec.time.total += sync;
+
+  if (opts_.method == Method::kPipeGCN) pipegcn_warm_ = true;
+
+  // Periodic bit-width (re-)assignment at the end of the traced period.
+  const bool quantizing = opts_.method == Method::kAdaQP ||
+                          opts_.method == Method::kAdaQPUniform;
+  if (quantizing &&
+      (epoch_ == 0 || (epoch_ + 1) % std::max(opts_.reassign_period, 1) == 0))
+    refresh_plans();
+
+  if (opts_.eval_every_epoch) {
+    const auto [val, test] = evaluate();
+    rec.val_acc = val;
+    rec.test_acc = test;
+  }
+  ++epoch_;
+  return rec;
+}
+
+std::pair<double, double> DistTrainer::evaluate() {
+  // Full-precision inference over private buffers (leaves training state —
+  // notably PipeGCN's stale halos — untouched).
+  std::vector<Matrix> x = features_;
+  const auto plan32 = [&](int /*l*/) {
+    return ExchangePlan::uniform_forward(dist_, 32);
+  };
+  std::vector<LayerCache> scratch(num_devices_);
+  for (int l = 0; l < num_layers_; ++l) {
+    exchange_halo_forward(dist_, x, plan32(l), cluster_, device_rngs_);
+    std::vector<Matrix> next;
+    next.reserve(num_devices_);
+    for (int d = 0; d < num_devices_; ++d)
+      next.emplace_back(dist_.devices[d].num_local(), model_.layer_out_dim(l));
+    for (int d = 0; d < num_devices_; ++d)
+      model_.layer(l).forward(dist_.devices[d], x[d], next[d], scratch[d],
+                              device_rngs_[d], /*training=*/false);
+    x = std::move(next);
+  }
+  const Matrix logits =
+      gather_from_devices(x, dist_, model_.config().out_dim);
+
+  auto metric = [&](const std::vector<std::uint32_t>& nodes) {
+    if (!dataset_.spec.multi_label) {
+      std::vector<std::int32_t> labels(nodes.size());
+      for (std::size_t i = 0; i < nodes.size(); ++i)
+        labels[i] = dataset_.labels[nodes[i]];
+      return accuracy(logits, nodes, labels);
+    }
+    Matrix targets(nodes.size(), dataset_.num_classes());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto src = dataset_.label_matrix.row(nodes[i]);
+      std::copy(src.begin(), src.end(), targets.row(i).begin());
+    }
+    return micro_f1(logits, nodes, targets);
+  };
+  return {metric(dataset_.val_nodes), metric(dataset_.test_nodes)};
+}
+
+RunResult DistTrainer::run() {
+  RunResult result;
+  result.method = method_name(opts_.method);
+  result.model = model_.config().name();
+  result.dataset = dataset_.spec.name;
+  result.partition_setting = cluster_.partition_setting();
+
+  for (int e = 0; e < opts_.epochs; ++e) {
+    EpochRecord rec = train_epoch();
+    result.train_seconds += rec.time.total;
+    result.avg_breakdown.accumulate(rec.time);
+    result.best_val_acc = std::max(result.best_val_acc, rec.val_acc);
+    if (opts_.verbose && (e % 10 == 0 || e + 1 == opts_.epochs))
+      std::fprintf(stderr, "[%s] epoch %3d loss %.4f val %.4f (%.3fs sim)\n",
+                   result.method.c_str(), e, rec.train_loss, rec.val_acc,
+                   rec.time.total);
+    result.epochs.push_back(std::move(rec));
+  }
+  const double n = static_cast<double>(std::max(opts_.epochs, 1));
+  result.avg_breakdown.comm /= n;
+  result.avg_breakdown.comp /= n;
+  result.avg_breakdown.quant /= n;
+  result.avg_breakdown.total /= n;
+  result.assign_seconds = assign_seconds_;
+  result.wall_clock_seconds = result.train_seconds + assign_seconds_;
+  result.final_val_acc =
+      result.epochs.empty() ? 0.0 : result.epochs.back().val_acc;
+  result.final_test_acc =
+      result.epochs.empty() ? 0.0 : result.epochs.back().test_acc;
+  result.avg_epoch_seconds = result.train_seconds / n;
+  result.throughput =
+      result.avg_epoch_seconds > 0 ? 1.0 / result.avg_epoch_seconds : 0.0;
+  result.total_comm_bytes = total_comm_bytes_;
+  return result;
+}
+
+RunResult run_training(const Dataset& dataset, const ClusterSpec& cluster,
+                       Aggregator aggregator, const TrainOptions& opts,
+                       std::size_t hidden_dim, const std::string& partitioner) {
+  Rng rng(opts.seed * 7919 + 17);
+  const auto part = make_partitioner(partitioner)
+                        ->partition(dataset.graph, cluster.num_devices(), rng);
+  const DistGraph dist = build_dist_graph(dataset.graph, part);
+
+  ModelConfig mc;
+  mc.aggregator = aggregator;
+  mc.in_dim = dataset.spec.feature_dim;
+  mc.hidden_dim = hidden_dim;
+  mc.out_dim = dataset.num_classes();
+  mc.num_layers = 3;
+  mc.dropout = 0.5f;
+  mc.layer_norm = true;
+
+  DistTrainer trainer(dataset, dist, cluster, mc, opts);
+  return trainer.run();
+}
+
+}  // namespace adaqp

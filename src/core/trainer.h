@@ -1,0 +1,195 @@
+// Distributed full-graph GNN trainers.
+//
+// One DistTrainer drives an entire training run of one method over the
+// simulated cluster. Numerics are bit-exact (every message passes through
+// the real quantization codec); time is accounted by the ClusterSpec cost
+// model. Methods:
+//
+//   kVanilla      — synchronous full-precision messages, no overlap
+//                   (paper's "Vanilla" baseline).
+//   kAdaQP        — adaptive stochastic quantization (bi-objective bit-width
+//                   assignment, re-solved periodically) + central/marginal
+//                   computation-communication parallelization. The paper's
+//                   contribution.
+//   kAdaQPUniform — AdaQP with uniformly-random bit sampling from {2,4,8}
+//                   (Table 6 ablation).
+//   kPipeGCN      — cross-iteration pipelining with epoch-stale boundary
+//                   embeddings and gradients, communication hidden inside
+//                   computation (PipeGCN-like baseline).
+//   kSancus       — staleness-aware broadcast skipping with sequential
+//                   (non-ring) broadcast cost and dropped remote gradients
+//                   on skipped epochs (SANCUS-like baseline).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assign/bit_assigner.h"
+#include "comm/cluster.h"
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "dist/dist_graph.h"
+#include "dist/halo_exchange.h"
+#include "gnn/adam.h"
+#include "gnn/model.h"
+
+namespace adaqp {
+
+enum class Method { kVanilla, kAdaQP, kAdaQPUniform, kPipeGCN, kSancus };
+
+std::string method_name(Method method);
+
+struct TrainOptions {
+  Method method = Method::kAdaQP;
+  int epochs = 100;
+  Adam::Options adam;              ///< lr defaults to the paper's 0.01
+  AssignerOptions assigner;        ///< group size, λ
+  int reassign_period = 50;        ///< epochs between bit-width re-solves
+  double sancus_drift_threshold = 0.30;
+  int sancus_max_staleness = 12;
+  std::uint64_t seed = 1;
+  bool eval_every_epoch = true;
+  bool verbose = false;
+};
+
+/// Per-epoch simulated time decomposition (paper Fig. 10a).
+struct EpochBreakdown {
+  double comm = 0.0;    ///< halo-exchange straggler time (fwd + bwd)
+  double comp = 0.0;    ///< computation on the critical path (AdaQP: marginal
+                        ///< graph only — central comp hides in comm)
+  double quant = 0.0;   ///< quantize + de-quantize kernel time
+  double total = 0.0;   ///< composed epoch duration with overlap applied
+
+  void accumulate(const EpochBreakdown& other);
+};
+
+struct EpochRecord {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_acc = 0.0;
+  double test_acc = 0.0;
+  EpochBreakdown time;
+};
+
+struct RunResult {
+  std::string method;
+  std::string model;
+  std::string dataset;
+  std::string partition_setting;
+  std::vector<EpochRecord> epochs;
+
+  double train_seconds = 0.0;    ///< Σ simulated epoch durations
+  double assign_seconds = 0.0;   ///< bit-width assignment overhead
+  double wall_clock_seconds = 0.0;  ///< train + assign (paper Table 5/9)
+  double final_val_acc = 0.0;
+  double final_test_acc = 0.0;
+  double best_val_acc = 0.0;
+  double avg_epoch_seconds = 0.0;
+  double throughput = 0.0;       ///< epochs per simulated second (Table 4)
+  EpochBreakdown avg_breakdown;
+  std::size_t total_comm_bytes = 0;
+};
+
+class DistTrainer {
+ public:
+  DistTrainer(const Dataset& dataset, const DistGraph& dist,
+              const ClusterSpec& cluster, const ModelConfig& model_config,
+              const TrainOptions& opts);
+
+  /// Train for opts.epochs epochs; returns the full run record.
+  RunResult run();
+
+  /// Run a single epoch (exposed for fine-grained benches); returns its
+  /// record. Evaluation is performed iff opts.eval_every_epoch.
+  EpochRecord train_epoch();
+
+  /// Full-precision evaluation of the current model; returns
+  /// (val metric, test metric). Does not advance simulated time.
+  std::pair<double, double> evaluate();
+
+  GnnModel& model() { return model_; }
+  const DistGraph& dist() const { return dist_; }
+  int current_epoch() const { return epoch_; }
+  double assign_seconds() const { return assign_seconds_; }
+  std::size_t total_comm_bytes() const { return total_comm_bytes_; }
+
+  /// Per-pair wire bytes of the most recent layer-1 forward exchange
+  /// (paper Fig. 2 reproduces this matrix).
+  const std::vector<std::vector<std::size_t>>& last_layer1_pair_bytes() const {
+    return last_layer1_pair_bytes_;
+  }
+
+ private:
+  void refresh_plans();
+  EpochBreakdown forward_pass(bool training, double* loss_out);
+  EpochBreakdown backward_pass();
+  void exchange_stats_to_breakdown(const ExchangeStats& stats, bool overlap,
+                                   double central_comp, EpochBreakdown& out);
+
+  // Per-method forward halo handling for layer input index `l` (the input
+  // matrices acts_[l]); returns stage time contributions.
+  EpochBreakdown forward_exchange(int l);
+  EpochBreakdown backward_exchange(int l, std::vector<Matrix>& grads);
+
+  double compute_seconds(int layer, bool backward, bool central_only,
+                         int device) const;
+  double max_compute_seconds(int layer, bool backward, bool central_only) const;
+  double marginal_compute_seconds_max(int layer, bool backward) const;
+
+  const Dataset& dataset_;
+  const DistGraph& dist_;
+  ClusterSpec cluster_;
+  TrainOptions opts_;
+
+  Rng master_rng_;
+  std::vector<Rng> device_rngs_;
+  GnnModel model_;
+  Adam adam_;
+
+  int num_devices_ = 0;
+  int num_layers_ = 0;
+
+  // Per-device static data.
+  std::vector<Matrix> features_;                 ///< local features (with halo)
+  std::vector<std::vector<std::uint32_t>> train_rows_;   ///< local owned ids
+  std::vector<std::vector<std::int32_t>> train_labels_;
+  std::vector<Matrix> train_targets_;            ///< multi-label targets
+  double global_train_count_ = 0.0;
+
+  // Activations: acts_[l][dev] is the input to layer l (l=0: features);
+  // acts_[L][dev] holds the logits.
+  std::vector<std::vector<Matrix>> acts_;
+  std::vector<std::vector<LayerCache>> caches_;  ///< [layer][device]
+
+  // Exchange plans per layer (forward) and per layer (backward).
+  std::vector<ExchangePlan> fwd_plans_;
+  std::vector<ExchangePlan> bwd_plans_;
+
+  // Traced row ranges (forward: per layer input; backward: per layer grad).
+  std::vector<std::vector<std::vector<float>>> fwd_ranges_;  ///< [layer][dev]
+  std::vector<std::vector<std::vector<float>>> bwd_ranges_;
+
+  // PipeGCN state: pending remote gradient contributions per layer input.
+  std::vector<std::vector<Matrix>> pending_grads_;  ///< [layer][device]
+  bool pipegcn_warm_ = false;
+
+  // SANCUS state: snapshot of owned rows at last broadcast per layer input.
+  std::vector<std::vector<Matrix>> sancus_last_bcast_;  ///< [layer][device]
+  std::vector<std::vector<int>> sancus_staleness_;      ///< [layer][device]
+  std::vector<std::vector<bool>> sancus_bcast_now_;     ///< [layer][device]
+
+  int epoch_ = 0;
+  double assign_seconds_ = 0.0;
+  std::size_t total_comm_bytes_ = 0;
+  std::vector<std::vector<std::size_t>> last_layer1_pair_bytes_;
+};
+
+/// Convenience wrapper: partition + build + train one (dataset, model,
+/// method) configuration and return the result.
+RunResult run_training(const Dataset& dataset, const ClusterSpec& cluster,
+                       Aggregator aggregator, const TrainOptions& opts,
+                       std::size_t hidden_dim = 64,
+                       const std::string& partitioner = "multilevel");
+
+}  // namespace adaqp

@@ -1,0 +1,28 @@
+#include "gnn/adam.h"
+
+#include <cmath>
+
+namespace adaqp {
+
+void Adam::step(const std::vector<Param*>& params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(opts_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(opts_.beta2, t_);
+  for (Param* p : params) {
+    float* w = p->value.data();
+    float* g = p->grad.data();
+    float* m = p->adam_m.data();
+    float* v = p->adam_v.data();
+    for (std::size_t i = 0; i < p->size(); ++i) {
+      float grad = g[i] + opts_.weight_decay * w[i];
+      m[i] = opts_.beta1 * m[i] + (1.0f - opts_.beta1) * grad;
+      v[i] = opts_.beta2 * v[i] + (1.0f - opts_.beta2) * grad * grad;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      w[i] -= static_cast<float>(opts_.lr * mhat /
+                                 (std::sqrt(vhat) + opts_.epsilon));
+    }
+  }
+}
+
+}  // namespace adaqp

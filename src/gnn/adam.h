@@ -1,0 +1,39 @@
+// Adam optimizer over a flat parameter list (Kingma & Ba).
+//
+// The paper trains with Adam, lr 0.01 (Appendix B). Parameters are updated
+// identically on every simulated device because gradients are allreduced
+// before the step, so a single optimizer instance serves the replicated
+// model.
+#pragma once
+
+#include <vector>
+
+#include "gnn/layers.h"
+
+namespace adaqp {
+
+class Adam {
+ public:
+  struct Options {
+    float lr = 0.01f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  Adam() : opts_(Options{}) {}
+  explicit Adam(const Options& opts) : opts_(opts) {}
+
+  /// One update step over `params` using their .grad fields.
+  void step(const std::vector<Param*>& params);
+
+  int iterations() const { return t_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  int t_ = 0;
+};
+
+}  // namespace adaqp

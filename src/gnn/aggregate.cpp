@@ -1,0 +1,111 @@
+#include "gnn/aggregate.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace adaqp {
+
+double aggregation_coefficient(Aggregator agg, std::uint32_t deg_u,
+                               std::uint32_t deg_v) {
+  switch (agg) {
+    case Aggregator::kGcn:
+      return 1.0 / std::sqrt(static_cast<double>(deg_u + 1) *
+                             static_cast<double>(deg_v + 1));
+    case Aggregator::kSageMean:
+      return deg_v == 0 ? 0.0 : 1.0 / static_cast<double>(deg_v);
+    case Aggregator::kSum:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+double self_coefficient(Aggregator agg, std::uint32_t deg_v) {
+  switch (agg) {
+    case Aggregator::kGcn:
+      return 1.0 / static_cast<double>(deg_v + 1);
+    case Aggregator::kSageMean:
+      return 0.0;  // SAGE handles the self path through W_self
+    case Aggregator::kSum:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+void aggregate_forward(const DeviceGraph& dev, Aggregator agg, const Matrix& x,
+                       std::span<const NodeId> rows, Matrix& out) {
+  ADAQP_CHECK(x.rows() == dev.num_local());
+  ADAQP_CHECK(out.rows() >= dev.num_owned && out.cols() == x.cols());
+  const std::size_t dim = x.cols();
+  for (NodeId v : rows) {
+    ADAQP_CHECK(v < dev.num_owned);
+    auto dst = out.row(v);
+    const auto self_c =
+        static_cast<float>(self_coefficient(agg, dev.global_degree[v]));
+    const auto src_self = x.row(v);
+    for (std::size_t c = 0; c < dim; ++c) dst[c] = self_c * src_self[c];
+    for (NodeId u : dev.neighbors(v)) {
+      const auto coeff = static_cast<float>(aggregation_coefficient(
+          agg, dev.global_degree[u], dev.global_degree[v]));
+      const auto src = x.row(u);
+      for (std::size_t c = 0; c < dim; ++c) dst[c] += coeff * src[c];
+    }
+  }
+}
+
+void aggregate_forward(const DeviceGraph& dev, Aggregator agg, const Matrix& x,
+                       Matrix& out) {
+  if (out.rows() != dev.num_owned || out.cols() != x.cols())
+    out = Matrix(dev.num_owned, x.cols());
+  std::vector<NodeId> all(dev.num_owned);
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<NodeId>(i);
+  aggregate_forward(dev, agg, x, all, out);
+}
+
+void aggregate_backward(const DeviceGraph& dev, Aggregator agg,
+                        const Matrix& grad_out, std::span<const NodeId> rows,
+                        Matrix& grad_x) {
+  ADAQP_CHECK(grad_x.rows() == dev.num_local());
+  ADAQP_CHECK(grad_x.cols() == grad_out.cols());
+  const std::size_t dim = grad_out.cols();
+  for (NodeId v : rows) {
+    ADAQP_CHECK(v < dev.num_owned);
+    const auto g = grad_out.row(v);
+    const auto self_c =
+        static_cast<float>(self_coefficient(agg, dev.global_degree[v]));
+    auto dst_self = grad_x.row(v);
+    for (std::size_t c = 0; c < dim; ++c) dst_self[c] += self_c * g[c];
+    for (NodeId u : dev.neighbors(v)) {
+      const auto coeff = static_cast<float>(aggregation_coefficient(
+          agg, dev.global_degree[u], dev.global_degree[v]));
+      auto dst = grad_x.row(u);
+      for (std::size_t c = 0; c < dim; ++c) dst[c] += coeff * g[c];
+    }
+  }
+}
+
+void aggregate_backward(const DeviceGraph& dev, Aggregator agg,
+                        const Matrix& grad_out, Matrix& grad_x) {
+  std::vector<NodeId> all(dev.num_owned);
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<NodeId>(i);
+  aggregate_backward(dev, agg, grad_out, all, grad_x);
+}
+
+double aggregate_flops(const DeviceGraph& dev, std::span<const NodeId> rows,
+                       std::size_t dim) {
+  const double edges = static_cast<double>(dev.edges_of(rows));
+  const double nrows = static_cast<double>(rows.size());
+  return 2.0 * edges * static_cast<double>(dim) +
+         2.0 * nrows * static_cast<double>(dim);
+}
+
+double dense_flops(std::size_t rows, std::size_t in_dim, std::size_t out_dim) {
+  return 2.0 * static_cast<double>(rows) * static_cast<double>(in_dim) *
+         static_cast<double>(out_dim);
+}
+
+double epilogue_flops(std::size_t rows, std::size_t dim) {
+  return 8.0 * static_cast<double>(rows) * static_cast<double>(dim);
+}
+
+}  // namespace adaqp

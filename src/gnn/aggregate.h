@@ -1,0 +1,65 @@
+// Neighborhood aggregation kernels on a device-local graph partition.
+//
+// Implements the weighted-summation form of message passing (paper Eqn. 3)
+// for the two evaluated models:
+//   GCN:        agg[v] = α(v,v)·x[v] + Σ_{u∈N(v)} α(u,v)·x[u],
+//               α(u,v) = 1/√((d_u+1)(d_v+1)) with *global* degrees d, so the
+//               distributed result is bit-comparable to centralized training.
+//   SAGE-mean:  agg[v] = (1/d_v)·Σ_{u∈N(v)} x[u]  (self term handled by the
+//               layer's separate W_self path).
+//
+// Each kernel has an adjoint used by the analytic backward pass; the adjoint
+// scatters into *all* local rows (owned and halo) — halo contributions are
+// the embedding-gradient messages the paper sends in the backward pass.
+#pragma once
+
+#include <span>
+
+#include "dist/dist_graph.h"
+#include "tensor/matrix.h"
+
+namespace adaqp {
+
+enum class Aggregator {
+  kGcn,       ///< symmetric normalization 1/sqrt((d_u+1)(d_v+1)) + self term
+  kSageMean,  ///< mean of neighbors; self path through a separate weight
+  kSum,       ///< GIN-style unweighted sum (neighbors + self), coefficient 1
+};
+
+/// Aggregation coefficient α(u,v) for an edge from u into v.
+double aggregation_coefficient(Aggregator agg, std::uint32_t deg_u,
+                               std::uint32_t deg_v);
+/// Self coefficient α(v,v) (zero for SAGE-mean).
+double self_coefficient(Aggregator agg, std::uint32_t deg_v);
+
+/// out (num_owned x dim) = aggregate over rows of x (num_local x dim),
+/// restricted to the owned rows in `rows`. Other rows of `out` are untouched.
+void aggregate_forward(const DeviceGraph& dev, Aggregator agg, const Matrix& x,
+                       std::span<const NodeId> rows, Matrix& out);
+
+/// Convenience: aggregate all owned rows.
+void aggregate_forward(const DeviceGraph& dev, Aggregator agg, const Matrix& x,
+                       Matrix& out);
+
+/// Adjoint: grad_x (num_local x dim) += Aᵀ · grad_out for the owned rows in
+/// `rows` of grad_out. grad_x must be pre-sized (num_local x dim).
+void aggregate_backward(const DeviceGraph& dev, Aggregator agg,
+                        const Matrix& grad_out, std::span<const NodeId> rows,
+                        Matrix& grad_x);
+
+void aggregate_backward(const DeviceGraph& dev, Aggregator agg,
+                        const Matrix& grad_out, Matrix& grad_x);
+
+// ---- FLOP accounting for the cost model ------------------------------------
+
+/// FLOPs of aggregating `rows` (2 flops per edge per channel + self path).
+double aggregate_flops(const DeviceGraph& dev, std::span<const NodeId> rows,
+                       std::size_t dim);
+
+/// FLOPs of a dense transform of `rows` rows: 2·rows·in·out.
+double dense_flops(std::size_t rows, std::size_t in_dim, std::size_t out_dim);
+
+/// FLOPs of row-wise epilogue (norm + activation + dropout), ~8 per element.
+double epilogue_flops(std::size_t rows, std::size_t dim);
+
+}  // namespace adaqp

@@ -1,0 +1,239 @@
+#include "gnn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace adaqp {
+
+LayerNorm::LayerNorm(std::size_t dim) : gamma(1, dim), beta(1, dim) { init(); }
+
+void LayerNorm::init() {
+  gamma.value.fill(1.0f);
+  beta.value.fill(0.0f);
+}
+
+void LayerNorm::forward(const Matrix& in, Matrix& out, Cache& cache) const {
+  const std::size_t rows = in.rows(), dim = in.cols();
+  ADAQP_CHECK(gamma.value.cols() == dim);
+  if (!out.same_shape(in)) out = Matrix(rows, dim);
+  if (!cache.normalized.same_shape(in)) cache.normalized = Matrix(rows, dim);
+  cache.rstd.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto x = in.row(r);
+    double mean = 0.0;
+    for (float v : x) mean += v;
+    mean /= static_cast<double>(dim);
+    double var = 0.0;
+    for (float v : x) {
+      const double d = v - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(dim);
+    const auto rstd = static_cast<float>(1.0 / std::sqrt(var + epsilon));
+    cache.rstd[r] = rstd;
+    auto xh = cache.normalized.row(r);
+    auto y = out.row(r);
+    for (std::size_t c = 0; c < dim; ++c) {
+      xh[c] = (x[c] - static_cast<float>(mean)) * rstd;
+      y[c] = xh[c] * gamma.value.data()[c] + beta.value.data()[c];
+    }
+  }
+}
+
+void LayerNorm::backward(const Matrix& grad_out, const Cache& cache,
+                         Matrix& grad_in) {
+  const std::size_t rows = grad_out.rows(), dim = grad_out.cols();
+  ADAQP_CHECK(cache.normalized.same_shape(grad_out));
+  if (!grad_in.same_shape(grad_out)) grad_in = Matrix(rows, dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto dy = grad_out.row(r);
+    const auto xh = cache.normalized.row(r);
+    auto dx = grad_in.row(r);
+    // dγ += Σ_r dy⊙x̂ ; dβ += Σ_r dy
+    double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
+    for (std::size_t c = 0; c < dim; ++c) {
+      gamma.grad.data()[c] += dy[c] * xh[c];
+      beta.grad.data()[c] += dy[c];
+      const double dxh = static_cast<double>(dy[c]) * gamma.value.data()[c];
+      mean_dxhat += dxh;
+      mean_dxhat_xhat += dxh * xh[c];
+    }
+    mean_dxhat /= static_cast<double>(dim);
+    mean_dxhat_xhat /= static_cast<double>(dim);
+    const float rstd = cache.rstd[r];
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double dxh = static_cast<double>(dy[c]) * gamma.value.data()[c];
+      dx[c] = static_cast<float>(
+          rstd * (dxh - mean_dxhat - xh[c] * mean_dxhat_xhat));
+    }
+  }
+}
+
+GnnLayer::GnnLayer(const LayerConfig& config)
+    : config_(config),
+      weight_(config.in_dim, config.out_dim),
+      weight_self_(config.aggregator == Aggregator::kSageMean ? config.in_dim
+                                                              : 0,
+                   config.aggregator == Aggregator::kSageMean ? config.out_dim
+                                                              : 0),
+      norm_(config.out_dim) {
+  ADAQP_CHECK(config.in_dim > 0 && config.out_dim > 0);
+}
+
+void GnnLayer::init_weights(Rng& rng) {
+  weight_.value.fill_glorot(rng);
+  if (weight_self_.size() > 0) weight_self_.value.fill_glorot(rng);
+  norm_.init();
+}
+
+void GnnLayer::forward(const DeviceGraph& dev, const Matrix& x_local,
+                       Matrix& out, LayerCache& cache, Rng& rng,
+                       bool training) const {
+  ADAQP_CHECK(x_local.rows() == dev.num_local());
+  ADAQP_CHECK(x_local.cols() == config_.in_dim);
+  ADAQP_CHECK(out.rows() >= dev.num_owned && out.cols() == config_.out_dim);
+
+  cache.input = x_local;
+  if (config_.aggregator != Aggregator::kSageMean) {
+    aggregate_forward(dev, config_.aggregator, x_local, cache.agg);
+    gemm(cache.agg, weight_.value, cache.pre_norm);
+  } else {
+    aggregate_forward(dev, Aggregator::kSageMean, x_local, cache.mean_nbr);
+    gemm(cache.mean_nbr, weight_.value, cache.pre_norm);
+    // Self path uses the owned rows of x.
+    Matrix x_owned(dev.num_owned, config_.in_dim);
+    for (std::size_t r = 0; r < dev.num_owned; ++r) {
+      const auto src = x_local.row(r);
+      std::copy(src.begin(), src.end(), x_owned.row(r).begin());
+    }
+    cache.agg = std::move(x_owned);  // cache owned input for dW_self
+    Matrix self_out;
+    gemm(cache.agg, weight_self_.value, self_out);
+    cache.pre_norm.add_inplace(self_out);
+  }
+
+  const Matrix* stage = &cache.pre_norm;
+  Matrix post_act;
+  if (!config_.is_output) {
+    if (config_.layer_norm) {
+      norm_.forward(*stage, cache.pre_act, cache.ln);
+      stage = &cache.pre_act;
+    } else {
+      cache.pre_act = *stage;
+      stage = &cache.pre_act;
+    }
+    relu_forward(*stage, post_act);
+    Matrix dropped;
+    if (training && config_.dropout > 0.0f) {
+      dropout_forward(post_act, config_.dropout, rng, dropped,
+                      cache.drop_mask);
+    } else {
+      dropped = post_act;
+      cache.drop_mask = Matrix(post_act.rows(), post_act.cols());
+      cache.drop_mask.fill(1.0f);
+    }
+    for (std::size_t r = 0; r < dev.num_owned; ++r) {
+      const auto src = dropped.row(r);
+      std::copy(src.begin(), src.end(), out.row(r).begin());
+    }
+  } else {
+    for (std::size_t r = 0; r < dev.num_owned; ++r) {
+      const auto src = stage->row(r);
+      std::copy(src.begin(), src.end(), out.row(r).begin());
+    }
+  }
+}
+
+void GnnLayer::backward(const DeviceGraph& dev, const Matrix& grad_out,
+                        const LayerCache& cache, Matrix& grad_x) {
+  ADAQP_CHECK(grad_out.rows() >= dev.num_owned);
+  ADAQP_CHECK(grad_out.cols() == config_.out_dim);
+
+  // Owned-row slice of the incoming gradient.
+  Matrix dh(dev.num_owned, config_.out_dim);
+  for (std::size_t r = 0; r < dev.num_owned; ++r) {
+    const auto src = grad_out.row(r);
+    std::copy(src.begin(), src.end(), dh.row(r).begin());
+  }
+
+  Matrix dpre_norm;
+  if (!config_.is_output) {
+    Matrix dpost_act;
+    dropout_backward(dh, cache.drop_mask, dpost_act);
+    Matrix dpre_act;
+    relu_backward(cache.pre_act, dpost_act, dpre_act);
+    if (config_.layer_norm) {
+      norm_.backward(dpre_act, cache.ln, dpre_norm);
+    } else {
+      dpre_norm = std::move(dpre_act);
+    }
+  } else {
+    dpre_norm = std::move(dh);
+  }
+
+  // Dense transform backward.
+  Matrix dagg;  // grad wrt aggregated input (num_owned x in_dim)
+  if (config_.aggregator != Aggregator::kSageMean) {
+    Matrix dw;
+    gemm_tn(cache.agg, dpre_norm, dw);
+    weight_.grad.add_inplace(dw);
+    gemm_nt(dpre_norm, weight_.value, dagg);
+    if (grad_x.rows() != dev.num_local() || grad_x.cols() != config_.in_dim)
+      grad_x = Matrix(dev.num_local(), config_.in_dim);
+    else
+      grad_x.set_zero();
+    aggregate_backward(dev, config_.aggregator, dagg, grad_x);
+  } else {
+    // Neighbor path: cache.mean_nbr, weight_; self path: cache.agg (owned
+    // input rows), weight_self_.
+    Matrix dw;
+    gemm_tn(cache.mean_nbr, dpre_norm, dw);
+    weight_.grad.add_inplace(dw);
+    Matrix dw_self;
+    gemm_tn(cache.agg, dpre_norm, dw_self);
+    weight_self_.grad.add_inplace(dw_self);
+
+    gemm_nt(dpre_norm, weight_.value, dagg);
+    if (grad_x.rows() != dev.num_local() || grad_x.cols() != config_.in_dim)
+      grad_x = Matrix(dev.num_local(), config_.in_dim);
+    else
+      grad_x.set_zero();
+    aggregate_backward(dev, Aggregator::kSageMean, dagg, grad_x);
+    Matrix dself;
+    gemm_nt(dpre_norm, weight_self_.value, dself);
+    for (std::size_t r = 0; r < dev.num_owned; ++r) {
+      auto dst = grad_x.row(r);
+      const auto src = dself.row(r);
+      for (std::size_t c = 0; c < config_.in_dim; ++c) dst[c] += src[c];
+    }
+  }
+}
+
+std::vector<Param*> GnnLayer::params() {
+  std::vector<Param*> out{&weight_};
+  if (weight_self_.size() > 0) out.push_back(&weight_self_);
+  if (!config_.is_output && config_.layer_norm) {
+    out.push_back(&norm_.gamma);
+    out.push_back(&norm_.beta);
+  }
+  return out;
+}
+
+std::vector<const Param*> GnnLayer::params() const {
+  auto mutable_params = const_cast<GnnLayer*>(this)->params();
+  return {mutable_params.begin(), mutable_params.end()};
+}
+
+void GnnLayer::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+std::size_t GnnLayer::grad_bytes() const {
+  std::size_t total = 0;
+  for (const Param* p : params()) total += p->size() * sizeof(float);
+  return total;
+}
+
+}  // namespace adaqp

@@ -1,0 +1,110 @@
+// GNN layers with hand-derived analytic backward passes.
+//
+// A layer computes, for the owned rows of a device partition:
+//   GCN:   h = Drop(ReLU(LN(Agg(x)·W)))                (hidden layers)
+//   SAGE:  h = Drop(ReLU(LN(x_self·W_self + Mean(x)·W_nbr)))
+// The output layer skips LN/ReLU/Drop and emits raw logits. LayerNorm is the
+// affine row-wise variant (paper Appendix B lists LayerNorm as the norm
+// function). All caches needed for backward live in a per-device
+// LayerCache so one shared weight set can serve any number of devices.
+#pragma once
+
+#include <vector>
+
+#include "gnn/aggregate.h"
+#include "tensor/matrix.h"
+
+namespace adaqp {
+
+class Rng;
+
+/// A trainable parameter: weight, gradient, Adam moments.
+struct Param {
+  Matrix value;
+  Matrix grad;
+  Matrix adam_m;
+  Matrix adam_v;
+
+  explicit Param(std::size_t rows = 0, std::size_t cols = 0)
+      : value(rows, cols), grad(rows, cols), adam_m(rows, cols),
+        adam_v(rows, cols) {}
+  std::size_t size() const { return value.size(); }
+  void zero_grad() { grad.set_zero(); }
+};
+
+/// Row-wise LayerNorm with affine (gamma, beta) parameters.
+struct LayerNorm {
+  Param gamma;
+  Param beta;
+  float epsilon = 1e-5f;
+
+  explicit LayerNorm(std::size_t dim = 0);
+  void init();
+
+  struct Cache {
+    Matrix normalized;        // x̂ rows
+    std::vector<float> rstd;  // 1/σ per row
+  };
+
+  void forward(const Matrix& in, Matrix& out, Cache& cache) const;
+  /// Accumulates into gamma.grad / beta.grad; writes grad_in.
+  void backward(const Matrix& grad_out, const Cache& cache, Matrix& grad_in);
+};
+
+struct LayerConfig {
+  Aggregator aggregator = Aggregator::kGcn;
+  std::size_t in_dim = 0;
+  std::size_t out_dim = 0;
+  bool is_output = false;   ///< output layer: no norm/activation/dropout
+  bool layer_norm = true;
+  float dropout = 0.5f;
+};
+
+/// Per-device forward cache (inputs and intermediates needed by backward).
+struct LayerCache {
+  Matrix input;        // x, num_local x in_dim (post halo exchange)
+  Matrix agg;          // Agg(x), num_owned x in_dim
+  Matrix mean_nbr;     // SAGE only: Mean(x), num_owned x in_dim
+  Matrix pre_norm;     // Agg·W (+ self path), num_owned x out_dim
+  LayerNorm::Cache ln;
+  Matrix pre_act;      // after LN, num_owned x out_dim
+  Matrix drop_mask;    // dropout multipliers
+};
+
+class GnnLayer {
+ public:
+  explicit GnnLayer(const LayerConfig& config);
+
+  void init_weights(Rng& rng);
+
+  const LayerConfig& config() const { return config_; }
+
+  /// Compute owned rows of the output into rows [0, num_owned) of `out`
+  /// (out is num_local_next x out_dim; halo rows are the *next* exchange's
+  /// job and are left untouched). `training` enables dropout.
+  void forward(const DeviceGraph& dev, const Matrix& x_local, Matrix& out,
+               LayerCache& cache, Rng& rng, bool training) const;
+
+  /// Backward from grad of owned output rows; accumulates weight grads and
+  /// writes grad wrt the layer input for *all* local rows into grad_x
+  /// (num_local x in_dim, overwritten).
+  void backward(const DeviceGraph& dev, const Matrix& grad_out,
+                const LayerCache& cache, Matrix& grad_x);
+
+  /// All trainable parameters (for Adam / allreduce).
+  std::vector<Param*> params();
+  std::vector<const Param*> params() const;
+
+  void zero_grad();
+
+  /// Bytes of all parameter gradients (model-gradient allreduce volume).
+  std::size_t grad_bytes() const;
+
+ private:
+  LayerConfig config_;
+  Param weight_;        // in_dim x out_dim (neighbor path for SAGE)
+  Param weight_self_;   // SAGE only: in_dim x out_dim
+  LayerNorm norm_;
+};
+
+}  // namespace adaqp

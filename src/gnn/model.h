@@ -1,0 +1,65 @@
+// Multi-layer GNN model, weight-replicated across simulated devices.
+//
+// One GnnModel instance holds the single authoritative weight set; per-device
+// state (layer inputs/outputs, backward caches) lives in DeviceWork objects
+// owned by the trainer. This mirrors data-parallel training where weights
+// are identical replicas kept in sync by gradient allreduce.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gnn/layers.h"
+
+namespace adaqp {
+
+struct ModelConfig {
+  Aggregator aggregator = Aggregator::kGcn;
+  std::size_t in_dim = 0;
+  std::size_t hidden_dim = 256;
+  std::size_t out_dim = 0;
+  int num_layers = 3;            ///< paper uses 3-layer models
+  float dropout = 0.5f;
+  bool layer_norm = true;
+
+  std::string name() const {
+    switch (aggregator) {
+      case Aggregator::kGcn: return "GCN";
+      case Aggregator::kSageMean: return "GraphSAGE";
+      case Aggregator::kSum: return "GIN-sum";
+    }
+    return "?";
+  }
+};
+
+class GnnModel {
+ public:
+  explicit GnnModel(const ModelConfig& config, Rng& rng);
+
+  const ModelConfig& config() const { return config_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  GnnLayer& layer(int l) { return layers_[l]; }
+  const GnnLayer& layer(int l) const { return layers_[l]; }
+
+  /// Input/output dimension of layer l.
+  std::size_t layer_in_dim(int l) const { return layers_[l].config().in_dim; }
+  std::size_t layer_out_dim(int l) const { return layers_[l].config().out_dim; }
+
+  std::vector<Param*> params();
+  void zero_grad();
+  /// Scale every parameter gradient by `s` (gradient averaging).
+  void scale_grads(float s);
+  /// Total gradient bytes (model-gradient allreduce volume).
+  std::size_t grad_bytes() const;
+
+  /// Flatten all grads into one matrix per device for allreduce simulation.
+  Matrix flatten_grads() const;
+  void unflatten_grads(const Matrix& flat);
+
+ private:
+  ModelConfig config_;
+  std::vector<GnnLayer> layers_;
+};
+
+}  // namespace adaqp

@@ -1,0 +1,244 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace adaqp {
+
+namespace {
+
+/// 64-bit key for an undirected edge with u < v.
+std::uint64_t edge_key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph erdos_renyi(std::size_t n, std::size_t target_edges, Rng& rng) {
+  ADAQP_CHECK(n >= 2);
+  const std::size_t max_edges = n * (n - 1) / 2;
+  target_edges = std::min(target_edges, max_edges);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(target_edges);
+  while (edges.size() < target_edges) {
+    const auto u = static_cast<NodeId>(rng.uniform_int(n));
+    const auto v = static_cast<NodeId>(rng.uniform_int(n));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second)
+      edges.emplace_back(u, v);
+  }
+  return build_graph(n, edges);
+}
+
+Graph rmat(unsigned scale, std::size_t target_edges, double a, double b,
+           double c, Rng& rng) {
+  ADAQP_CHECK(scale >= 1 && scale <= 28);
+  const double d = 1.0 - a - b - c;
+  ADAQP_CHECK_MSG(d >= 0.0, "R-MAT quadrant probs sum > 1");
+  const std::size_t n = std::size_t{1} << scale;
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(target_edges);
+  // Allow some retries; extremely skewed parameter sets may saturate early.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_edges * 50 + 1000;
+  while (edges.size() < target_edges && attempts++ < max_attempts) {
+    NodeId u = 0, v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) edges.emplace_back(u, v);
+  }
+  return build_graph(n, edges);
+}
+
+DcSbm dc_sbm(const DcSbmParams& params, Rng& rng) {
+  const std::size_t n = params.num_nodes;
+  const std::size_t blocks = params.num_blocks;
+  ADAQP_CHECK(n >= 2 && blocks >= 1 && blocks <= n);
+  ADAQP_CHECK(params.intra_prob >= 0.0 && params.intra_prob <= 1.0);
+
+  DcSbm out;
+  out.block_of.resize(n);
+  // Contiguous block assignment keeps planted structure easy to reason about
+  // in tests; partitioners never see block_of, so this does not leak labels.
+  // Block sizes follow (b+1)^-e so community sizes (and therefore pairwise
+  // communication volumes after partitioning) are heterogeneous.
+  {
+    std::vector<double> weight(blocks);
+    double total = 0.0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      weight[b] = std::pow(static_cast<double>(b + 1),
+                           -params.block_size_exponent);
+      total += weight[b];
+    }
+    std::size_t at = 0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::size_t count = b + 1 == blocks
+                              ? n - at
+                              : std::max<std::size_t>(
+                                    1, static_cast<std::size_t>(
+                                           weight[b] / total *
+                                           static_cast<double>(n)));
+      count = std::min(count, n - at);
+      for (std::size_t i = 0; i < count; ++i)
+        out.block_of[at + i] = static_cast<int>(b);
+      at += count;
+      if (at >= n) {
+        for (std::size_t v = at; v < n; ++v)
+          out.block_of[v] = static_cast<int>(blocks - 1);
+        break;
+      }
+    }
+  }
+
+  // Per-block member lists for endpoint sampling.
+  std::vector<std::vector<NodeId>> members(blocks);
+  for (std::size_t v = 0; v < n; ++v)
+    members[out.block_of[v]].push_back(static_cast<NodeId>(v));
+
+  // Degree propensities: power law, normalized per block so each node's
+  // chance of being picked as a target is proportional to its propensity.
+  const std::size_t cap =
+      params.max_degree_cap ? params.max_degree_cap : std::max<std::size_t>(n / 4, 2);
+  std::vector<double> propensity(n);
+  for (std::size_t v = 0; v < n; ++v)
+    propensity[v] =
+        static_cast<double>(rng.power_law(params.degree_exponent, cap));
+
+  // Alias-free cumulative sampling per block (graphs here are small enough
+  // that binary search over a prefix-sum array is fine).
+  std::vector<std::vector<double>> block_cdf(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    auto& cdf = block_cdf[b];
+    cdf.reserve(members[b].size());
+    double acc = 0.0;
+    for (NodeId v : members[b]) {
+      acc += propensity[v];
+      cdf.push_back(acc);
+    }
+  }
+  auto sample_from_block = [&](std::size_t b) -> NodeId {
+    const auto& cdf = block_cdf[b];
+    const double r = rng.uniform() * cdf.back();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    return members[b][static_cast<std::size_t>(it - cdf.begin())];
+  };
+
+  const auto target_edges =
+      static_cast<std::size_t>(params.avg_degree * static_cast<double>(n) / 2.0);
+  std::vector<double> block_totals(blocks, 0.0);
+  double total = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    block_totals[b] = block_cdf[b].empty() ? 0.0 : block_cdf[b].back();
+    total += block_totals[b];
+  }
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(target_edges);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_edges * 50 + 1000;
+  while (edges.size() < target_edges && attempts++ < max_attempts) {
+    // Source node weighted by propensity over the whole graph: pick a block
+    // proportional to its total propensity, then a node inside it.
+    double r = rng.uniform() * total;
+    std::size_t src_block = 0;
+    while (src_block + 1 < blocks && r >= block_totals[src_block]) {
+      r -= block_totals[src_block];
+      ++src_block;
+    }
+    const NodeId u = sample_from_block(src_block);
+    // Inter-block edges decay harmonically with block distance: nearby
+    // communities interact more, which is what skews pairwise communication
+    // volumes after partitioning (paper Fig. 2).
+    std::size_t dst_block = src_block;
+    if (!rng.bernoulli(params.intra_prob) && blocks > 1) {
+      double harm = 0.0;
+      for (std::size_t o = 1; o < blocks; ++o) harm += 1.0 / o;
+      double r2 = rng.uniform() * harm;
+      std::size_t offset = 1;
+      while (offset + 1 < blocks && r2 >= 1.0 / offset) {
+        r2 -= 1.0 / offset;
+        ++offset;
+      }
+      dst_block = rng.bernoulli(0.5) ? (src_block + offset) % blocks
+                                     : (src_block + blocks - offset) % blocks;
+    }
+    const NodeId v = sample_from_block(dst_block);
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) edges.emplace_back(u, v);
+  }
+  out.graph = build_graph(n, edges);
+  return out;
+}
+
+Graph ring_graph(std::size_t n) {
+  ADAQP_CHECK(n >= 3);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n);
+  for (std::size_t v = 0; v < n; ++v)
+    edges.emplace_back(static_cast<NodeId>(v), static_cast<NodeId>((v + 1) % n));
+  return build_graph(n, edges);
+}
+
+Graph star_graph(std::size_t n) {
+  ADAQP_CHECK(n >= 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n - 1);
+  for (std::size_t v = 1; v < n; ++v)
+    edges.emplace_back(0, static_cast<NodeId>(v));
+  return build_graph(n, edges);
+}
+
+Graph complete_graph(std::size_t n) {
+  ADAQP_CHECK(n >= 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = u + 1; v < n; ++v)
+      edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  return build_graph(n, edges);
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  ADAQP_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  auto id = [&](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  return build_graph(rows * cols, edges);
+}
+
+Graph path_graph(std::size_t n) {
+  ADAQP_CHECK(n >= 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::size_t v = 0; v + 1 < n; ++v)
+    edges.emplace_back(static_cast<NodeId>(v), static_cast<NodeId>(v + 1));
+  return build_graph(n, edges);
+}
+
+}  // namespace adaqp

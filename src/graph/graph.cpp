@@ -1,0 +1,89 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace adaqp {
+
+Graph::Graph(std::vector<EdgeIdx> offsets, std::vector<NodeId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  ADAQP_CHECK(!offsets_.empty());
+  ADAQP_CHECK(offsets_.front() == 0);
+  ADAQP_CHECK(offsets_.back() == neighbors_.size());
+  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v)
+    ADAQP_CHECK(offsets_[v] <= offsets_[v + 1]);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t m = 0;
+  for (std::size_t v = 0; v < num_nodes(); ++v)
+    m = std::max(m, degree(static_cast<NodeId>(v)));
+  return m;
+}
+
+Graph build_graph(std::size_t num_nodes,
+                  std::span<const std::pair<NodeId, NodeId>> edges) {
+  // Symmetrize into a flat directed edge list, dropping self-loops.
+  std::vector<std::pair<NodeId, NodeId>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    ADAQP_CHECK_MSG(u < num_nodes && v < num_nodes,
+                    "edge (" << u << "," << v << ") out of range " << num_nodes);
+    if (u == v) continue;
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()), directed.end());
+
+  std::vector<EdgeIdx> offsets(num_nodes + 1, 0);
+  for (const auto& [u, v] : directed) offsets[u + 1]++;
+  for (std::size_t v = 0; v < num_nodes; ++v) offsets[v + 1] += offsets[v];
+  std::vector<NodeId> neighbors(directed.size());
+  for (std::size_t i = 0; i < directed.size(); ++i)
+    neighbors[i] = directed[i].second;
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph build_graph(std::size_t num_nodes,
+                  const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  return build_graph(num_nodes,
+                     std::span<const std::pair<NodeId, NodeId>>(edges));
+}
+
+Graph induced_subgraph(const Graph& g, std::span<const NodeId> keep) {
+  std::unordered_map<NodeId, NodeId> to_local;
+  to_local.reserve(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const bool inserted =
+        to_local.emplace(keep[i], static_cast<NodeId>(i)).second;
+    ADAQP_CHECK_MSG(inserted, "duplicate node " << keep[i] << " in keep set");
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (NodeId nbr : g.neighbors(keep[i])) {
+      auto it = to_local.find(nbr);
+      if (it != to_local.end() && keep[i] < nbr)
+        edges.emplace_back(static_cast<NodeId>(i), it->second);
+    }
+  }
+  return build_graph(keep.size(), edges);
+}
+
+std::size_t edge_cut(const Graph& g, std::span<const int> part_of) {
+  ADAQP_CHECK(part_of.size() == g.num_nodes());
+  std::size_t cut = 0;
+  for (std::size_t v = 0; v < g.num_nodes(); ++v)
+    for (NodeId u : g.neighbors(static_cast<NodeId>(v)))
+      if (v < u && part_of[v] != part_of[u]) ++cut;
+  return cut;
+}
+
+}  // namespace adaqp

@@ -1,0 +1,133 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace adaqp {
+
+namespace {
+
+bool is_comment(const std::string& line) {
+  for (char ch : line) {
+    if (ch == ' ' || ch == '\t') continue;
+    return ch == '#' || ch == '%';
+  }
+  return true;  // blank line
+}
+
+std::ifstream open_input(const std::string& path) {
+  std::ifstream in(path);
+  ADAQP_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  return in;
+}
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream out(path);
+  ADAQP_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  return out;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in, std::size_t num_nodes) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::string line;
+  std::size_t max_id = 0;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_comment(line)) continue;
+    std::istringstream ls(line);
+    std::uint64_t u, v;
+    ADAQP_CHECK_MSG(static_cast<bool>(ls >> u >> v),
+                    "edge list line " << line_no << ": expected 'u v', got '"
+                                      << line << "'");
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    max_id = std::max({max_id, static_cast<std::size_t>(u),
+                       static_cast<std::size_t>(v)});
+  }
+  if (num_nodes == 0) num_nodes = edges.empty() ? 0 : max_id + 1;
+  return build_graph(num_nodes, edges);
+}
+
+Graph read_edge_list_file(const std::string& path, std::size_t num_nodes) {
+  auto in = open_input(path);
+  return read_edge_list(in, num_nodes);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# " << g.num_nodes() << " nodes, " << g.num_undirected_edges()
+      << " undirected edges\n";
+  for (std::size_t v = 0; v < g.num_nodes(); ++v)
+    for (NodeId u : g.neighbors(static_cast<NodeId>(v)))
+      if (v < u) out << v << ' ' << u << '\n';
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  auto out = open_output(path);
+  write_edge_list(g, out);
+}
+
+Graph read_metis(std::istream& in) {
+  std::string line;
+  // Header: first non-comment line ("%"-comments per METIS manual).
+  while (std::getline(in, line) && is_comment(line)) {
+  }
+  std::istringstream header(line);
+  std::uint64_t n = 0, m = 0;
+  ADAQP_CHECK_MSG(static_cast<bool>(header >> n >> m),
+                  "METIS header must be 'n m [fmt]'");
+  std::uint64_t fmt = 0;
+  if (header >> fmt)
+    ADAQP_CHECK_MSG(fmt == 0, "weighted METIS graphs (fmt=" << fmt
+                                  << ") are not supported");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(m);
+  std::uint64_t node = 0;
+  while (node < n && std::getline(in, line)) {
+    if (is_comment(line) && line.find('%') != std::string::npos) continue;
+    std::istringstream ls(line);
+    std::uint64_t nbr;
+    while (ls >> nbr) {
+      ADAQP_CHECK_MSG(nbr >= 1 && nbr <= n,
+                      "METIS neighbor id " << nbr << " outside [1," << n << "]");
+      if (node < nbr - 1)  // each undirected edge appears twice in the file
+        edges.emplace_back(static_cast<NodeId>(node),
+                           static_cast<NodeId>(nbr - 1));
+    }
+    ++node;
+  }
+  ADAQP_CHECK_MSG(node == n, "METIS file ended after " << node << " of " << n
+                                                       << " adjacency lines");
+  Graph g = build_graph(n, edges);
+  ADAQP_CHECK_MSG(g.num_undirected_edges() == m,
+                  "METIS header claims " << m << " edges, file contains "
+                                         << g.num_undirected_edges());
+  return g;
+}
+
+Graph read_metis_file(const std::string& path) {
+  auto in = open_input(path);
+  return read_metis(in);
+}
+
+void write_metis(const Graph& g, std::ostream& out) {
+  out << g.num_nodes() << ' ' << g.num_undirected_edges() << '\n';
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(static_cast<NodeId>(v));
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      out << (i ? " " : "") << nbrs[i] + 1;
+    out << '\n';
+  }
+}
+
+void write_metis_file(const Graph& g, const std::string& path) {
+  auto out = open_output(path);
+  write_metis(g, out);
+}
+
+}  // namespace adaqp

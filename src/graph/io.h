@@ -1,0 +1,34 @@
+// Graph file I/O: plain edge lists and the METIS graph format.
+//
+// An open-source release of a distributed GNN trainer must ingest user
+// graphs; these loaders cover the two formats the partitioning community
+// uses most. Both loaders produce the library's canonical simple undirected
+// graph (symmetrized, deduplicated, self-loops dropped).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace adaqp {
+
+/// Plain edge list: one "u v" pair per line; '#' or '%' lines are comments.
+/// Node ids are 0-based. `num_nodes` of 0 means "1 + max id seen".
+Graph read_edge_list(std::istream& in, std::size_t num_nodes = 0);
+Graph read_edge_list_file(const std::string& path, std::size_t num_nodes = 0);
+
+/// Write "u v" lines (each undirected edge once, u < v).
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// METIS graph format: header "n m [fmt]", then line i (1-based) lists the
+/// neighbors of node i (1-based ids). Only the unweighted format (fmt absent
+/// or "0") is supported; weighted headers are rejected with an error.
+Graph read_metis(std::istream& in);
+Graph read_metis_file(const std::string& path);
+
+void write_metis(const Graph& g, std::ostream& out);
+void write_metis_file(const Graph& g, const std::string& path);
+
+}  // namespace adaqp

@@ -1,0 +1,354 @@
+// Multilevel k-way partitioner (METIS-style).
+//
+// Pipeline: heavy-edge-matching coarsening builds a hierarchy of weighted
+// graphs; the coarsest graph is partitioned by greedy region growing seeded
+// at mutually distant nodes; the assignment is projected back level by level
+// with FM-style greedy boundary refinement under a balance constraint.
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "partition/partitioner.h"
+
+namespace adaqp {
+namespace {
+
+/// Weighted graph used internally during coarsening. Adjacency is a flat
+/// CSR-like layout of (neighbor, edge-weight) pairs.
+struct WGraph {
+  std::vector<std::size_t> offsets;                 // size n+1
+  std::vector<std::pair<NodeId, double>> adj;       // neighbor, weight
+  std::vector<double> node_weight;                  // #original vertices
+
+  std::size_t n() const { return node_weight.size(); }
+  std::span<const std::pair<NodeId, double>> neighbors(NodeId v) const {
+    return {adj.data() + offsets[v], offsets[v + 1] - offsets[v]};
+  }
+  double total_node_weight() const {
+    double acc = 0.0;
+    for (double w : node_weight) acc += w;
+    return acc;
+  }
+};
+
+WGraph from_graph(const Graph& g) {
+  WGraph wg;
+  wg.offsets.resize(g.num_nodes() + 1);
+  wg.adj.reserve(g.num_directed_edges());
+  wg.node_weight.assign(g.num_nodes(), 1.0);
+  wg.offsets[0] = 0;
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(static_cast<NodeId>(v)))
+      wg.adj.emplace_back(u, 1.0);
+    wg.offsets[v + 1] = wg.adj.size();
+  }
+  return wg;
+}
+
+/// One level of heavy-edge matching: visit nodes in random order and match
+/// each unmatched node with its unmatched neighbor of largest edge weight.
+/// Returns coarse graph and the fine→coarse map.
+struct CoarsenStep {
+  WGraph coarse;
+  std::vector<NodeId> fine_to_coarse;
+};
+
+CoarsenStep coarsen_once(const WGraph& g, Rng& rng) {
+  const std::size_t n = g.n();
+  std::vector<NodeId> match(n, std::numeric_limits<NodeId>::max());
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(order[i - 1], order[rng.uniform_int(i)]);
+
+  const NodeId unmatched = std::numeric_limits<NodeId>::max();
+  for (NodeId v : order) {
+    if (match[v] != unmatched) continue;
+    NodeId best = unmatched;
+    double best_w = -1.0;
+    for (const auto& [u, w] : g.neighbors(v)) {
+      if (u == v || match[u] != unmatched) continue;
+      if (w > best_w) {
+        best_w = w;
+        best = u;
+      }
+    }
+    if (best != unmatched) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // matched with itself
+    }
+  }
+
+  CoarsenStep step;
+  step.fine_to_coarse.assign(n, unmatched);
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (step.fine_to_coarse[v] != unmatched) continue;
+    step.fine_to_coarse[v] = next;
+    if (match[v] != v) step.fine_to_coarse[match[v]] = next;
+    ++next;
+  }
+
+  // Accumulate coarse adjacency with a per-node hash map.
+  const std::size_t cn = next;
+  std::vector<std::unordered_map<NodeId, double>> acc(cn);
+  std::vector<double> cw(cn, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId cv = step.fine_to_coarse[v];
+    cw[cv] += g.node_weight[v];
+    for (const auto& [u, w] : g.neighbors(v)) {
+      const NodeId cu = step.fine_to_coarse[u];
+      if (cu == cv) continue;  // interior edge collapses
+      acc[cv][cu] += w;
+    }
+  }
+  step.coarse.node_weight = std::move(cw);
+  step.coarse.offsets.resize(cn + 1);
+  step.coarse.offsets[0] = 0;
+  for (std::size_t v = 0; v < cn; ++v) {
+    for (const auto& [u, w] : acc[v]) step.coarse.adj.emplace_back(u, w);
+    // sort for determinism across unordered_map iteration order
+    std::sort(step.coarse.adj.begin() +
+                  static_cast<std::ptrdiff_t>(step.coarse.offsets[v]),
+              step.coarse.adj.end());
+    step.coarse.offsets[v + 1] = step.coarse.adj.size();
+  }
+  return step;
+}
+
+/// Greedy region growing on the coarsest weighted graph: pick k seeds by
+/// repeated farthest-first BFS, then grow regions minding weight balance.
+std::vector<int> initial_partition(const WGraph& g, int k, Rng& rng) {
+  const std::size_t n = g.n();
+  std::vector<int> part(n, -1);
+  if (k == 1) {
+    std::fill(part.begin(), part.end(), 0);
+    return part;
+  }
+  const double total_w = g.total_node_weight();
+  const double target = total_w / k;
+
+  // Farthest-first seed selection (BFS hop distance). Seeds must be able to
+  // grow regions, so only *reachable* nodes qualify as "far": graphs with
+  // isolated singletons (power-law generators produce them) would otherwise
+  // soak up every seed into zero-degree nodes whose regions can never grow.
+  // The first seed is the max-degree node, guaranteed inside the main
+  // component.
+  (void)rng;
+  std::vector<NodeId> seeds;
+  {
+    NodeId best = 0;
+    std::size_t best_deg = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t deg = g.neighbors(static_cast<NodeId>(v)).size();
+      if (deg >= best_deg) {
+        best_deg = deg;
+        best = static_cast<NodeId>(v);
+      }
+    }
+    seeds.push_back(best);
+  }
+  std::vector<int> dist(n);
+  while (static_cast<int>(seeds.size()) < k) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<NodeId> q;
+    for (NodeId s : seeds) {
+      dist[s] = 0;
+      q.push(s);
+    }
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (const auto& [u, w] : g.neighbors(v)) {
+        (void)w;
+        if (dist[u] < 0) {
+          dist[u] = dist[v] + 1;
+          q.push(u);
+        }
+      }
+    }
+    NodeId far = std::numeric_limits<NodeId>::max();
+    int far_d = -1;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] < 0 || g.neighbors(static_cast<NodeId>(v)).empty())
+        continue;  // unreachable or isolated: cannot grow a region
+      if (dist[v] > far_d &&
+          std::find(seeds.begin(), seeds.end(), v) == seeds.end()) {
+        far_d = dist[v];
+        far = static_cast<NodeId>(v);
+      }
+    }
+    if (far == std::numeric_limits<NodeId>::max()) {
+      // No reachable non-seed left (tiny main component): fall back to the
+      // heaviest unseeded node anywhere.
+      double best_w = -1.0;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (std::find(seeds.begin(), seeds.end(), v) != seeds.end()) continue;
+        if (g.node_weight[v] > best_w) {
+          best_w = g.node_weight[v];
+          far = static_cast<NodeId>(v);
+        }
+      }
+    }
+    seeds.push_back(far);
+  }
+
+  // Grow all regions simultaneously: a priority queue per part of frontier
+  // nodes scored by connection weight; always extend the lightest part.
+  std::vector<double> load(k, 0.0);
+  using Cand = std::pair<double, NodeId>;  // (gain, node)
+  std::vector<std::priority_queue<Cand>> frontier(k);
+  for (int p = 0; p < k; ++p) {
+    part[seeds[p]] = p;
+    load[p] += g.node_weight[seeds[p]];
+    for (const auto& [u, w] : g.neighbors(seeds[p]))
+      if (part[u] < 0) frontier[p].emplace(w, u);
+  }
+  std::size_t assigned = static_cast<std::size_t>(k);
+  while (assigned < n) {
+    // lightest part with a non-empty frontier
+    int p = -1;
+    for (int q2 = 0; q2 < k; ++q2)
+      if (!frontier[q2].empty() && (p < 0 || load[q2] < load[p])) p = q2;
+    if (p < 0) {
+      // disconnected remainder: assign an arbitrary unassigned node to the
+      // lightest part and continue growing from it
+      p = static_cast<int>(std::min_element(load.begin(), load.end()) -
+                           load.begin());
+      for (std::size_t v = 0; v < n; ++v)
+        if (part[v] < 0) {
+          part[v] = p;
+          load[p] += g.node_weight[v];
+          ++assigned;
+          for (const auto& [u, w] : g.neighbors(static_cast<NodeId>(v)))
+            if (part[u] < 0) frontier[p].emplace(w, u);
+          break;
+        }
+      continue;
+    }
+    const auto [gain, v] = frontier[p].top();
+    (void)gain;
+    frontier[p].pop();
+    if (part[v] >= 0) continue;
+    if (load[p] + g.node_weight[v] > 1.3 * target && assigned + 1 < n) {
+      // part would overflow badly; push node back later via other parts
+      bool other_has = false;
+      for (int q2 = 0; q2 < k; ++q2)
+        if (q2 != p && !frontier[q2].empty()) other_has = true;
+      if (other_has) continue;
+    }
+    part[v] = p;
+    load[p] += g.node_weight[v];
+    ++assigned;
+    for (const auto& [u, w] : g.neighbors(v))
+      if (part[u] < 0) frontier[p].emplace(w, u);
+  }
+  return part;
+}
+
+/// FM-style greedy refinement: repeatedly move boundary nodes to the
+/// neighboring part with the largest cut-weight gain, subject to balance.
+void refine(const WGraph& g, std::vector<int>& part, int k,
+            double max_imbalance, int passes) {
+  const std::size_t n = g.n();
+  const double total_w = g.total_node_weight();
+  const double cap = max_imbalance * total_w / k;
+  std::vector<double> load(k, 0.0);
+  for (std::size_t v = 0; v < n; ++v) load[part[v]] += g.node_weight[v];
+
+  std::vector<double> conn(k);
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved_any = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      const int pv = part[v];
+      std::fill(conn.begin(), conn.end(), 0.0);
+      bool boundary = false;
+      for (const auto& [u, w] : g.neighbors(static_cast<NodeId>(v))) {
+        conn[part[u]] += w;
+        if (part[u] != pv) boundary = true;
+      }
+      // Interior nodes only move when their part must shed weight; without
+      // this, a zero-cut but imbalanced partition would be a fixed point.
+      if (!boundary && load[pv] <= cap) continue;
+      int best = pv;
+      double best_gain = 0.0;
+      for (int p = 0; p < k; ++p) {
+        if (p == pv) continue;
+        if (load[p] + g.node_weight[v] > cap) continue;
+        const double gain = conn[p] - conn[pv];
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best = p;
+        }
+      }
+      // Also allow zero-gain moves from overloaded parts to restore balance.
+      if (best == pv && load[pv] > cap) {
+        double lightest = std::numeric_limits<double>::infinity();
+        for (int p = 0; p < k; ++p)
+          if (p != pv && load[p] < lightest) {
+            lightest = load[p];
+            best = p;
+          }
+      }
+      if (best != pv) {
+        load[pv] -= g.node_weight[v];
+        load[best] += g.node_weight[v];
+        part[v] = best;
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+}
+
+}  // namespace
+
+PartitionResult MultilevelPartitioner::partition(const Graph& g, int num_parts,
+                                                 Rng& rng) const {
+  ADAQP_CHECK(num_parts >= 1);
+  PartitionResult out;
+  out.num_parts = num_parts;
+  if (g.num_nodes() == 0) return out;
+  if (num_parts == 1) {
+    out.part_of.assign(g.num_nodes(), 0);
+    return out;
+  }
+
+  // Coarsening phase.
+  std::vector<WGraph> levels;
+  std::vector<std::vector<NodeId>> maps;  // maps[i]: level i -> level i+1
+  levels.push_back(from_graph(g));
+  const std::size_t stop =
+      std::max<std::size_t>(opts_.coarsen_until,
+                            static_cast<std::size_t>(num_parts) * 8);
+  while (levels.back().n() > stop) {
+    CoarsenStep step = coarsen_once(levels.back(), rng);
+    // Matching stalls on graphs with no edges or all-matched-to-self.
+    if (step.coarse.n() >= levels.back().n()) break;
+    maps.push_back(std::move(step.fine_to_coarse));
+    levels.push_back(std::move(step.coarse));
+  }
+
+  // Initial partition on the coarsest level, then project + refine upward.
+  std::vector<int> part = initial_partition(levels.back(), num_parts, rng);
+  refine(levels.back(), part, num_parts, opts_.max_imbalance,
+         opts_.refine_passes);
+  for (std::size_t lvl = levels.size(); lvl-- > 1;) {
+    const auto& map = maps[lvl - 1];
+    std::vector<int> finer(levels[lvl - 1].n());
+    for (std::size_t v = 0; v < finer.size(); ++v) finer[v] = part[map[v]];
+    part = std::move(finer);
+    refine(levels[lvl - 1], part, num_parts, opts_.max_imbalance,
+           opts_.refine_passes);
+  }
+  out.part_of = std::move(part);
+  return out;
+}
+
+}  // namespace adaqp

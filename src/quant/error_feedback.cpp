@@ -1,0 +1,65 @@
+#include "quant/error_feedback.h"
+
+#include "common/check.h"
+#include "quant/quantize.h"
+
+namespace adaqp {
+
+ErrorFeedbackState::ErrorFeedbackState(const DeviceGraph& dev, std::size_t dim)
+    : dim_(dim) {
+  residuals_.reserve(dev.send_local.size());
+  for (const auto& sends : dev.send_local)
+    residuals_.emplace_back(sends.size(), dim);
+}
+
+double ErrorFeedbackState::residual_norm() const {
+  double acc = 0.0;
+  for (const auto& m : residuals_) {
+    const double f = m.frobenius_norm();
+    acc += f * f;
+  }
+  return acc;
+}
+
+void ErrorFeedbackState::reset() {
+  for (auto& m : residuals_) m.set_zero();
+}
+
+EncodedBlock encode_rows_compensated(const Matrix& src, const DeviceGraph& dev,
+                                     int peer, std::span<const int> bits,
+                                     ErrorFeedbackState& state, Rng& rng) {
+  const auto& rows = dev.send_local[peer];
+  ADAQP_CHECK_MSG(bits.size() == rows.size(),
+                  "bits arity " << bits.size() << " != sends " << rows.size());
+  ADAQP_CHECK_MSG(state.initialized() && state.dim() == src.cols(),
+                  "error-feedback state not sized for this matrix");
+  Matrix& residual = state.residual_for_peer(peer);
+  ADAQP_CHECK(residual.rows() == rows.size());
+
+  // Compensated message: m_i = value_i + residual_i, quantized; the new
+  // residual is m_i - dequant(q(m_i)).
+  Matrix compensated(rows.size(), src.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto value = src.row(rows[i]);
+    const auto res = residual.row(i);
+    auto dst = compensated.row(i);
+    for (std::size_t c = 0; c < src.cols(); ++c) dst[c] = value[c] + res[c];
+  }
+  std::vector<NodeId> seq(rows.size());
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    seq[i] = static_cast<NodeId>(i);
+  EncodedBlock block = encode_rows(compensated, seq, bits, rng);
+
+  // Recover what the receiver will decode, and bank the difference.
+  Matrix decoded(rows.size(), src.cols());
+  decode_rows(block, decoded, seq);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto sent = compensated.row(i);
+    const auto got = decoded.row(i);
+    auto res = residual.row(i);
+    for (std::size_t c = 0; c < src.cols(); ++c) res[c] = sent[c] - got[c];
+  }
+  return block;
+}
+
+}  // namespace adaqp

@@ -1,0 +1,56 @@
+// Error-feedback (compensated) quantization — an extension beyond the paper.
+//
+// AdaQP's stochastic rounding is unbiased per message, so plain quantization
+// already converges at O(1/T) (Theorem 2). Error feedback (Wu et al., "Error
+// Compensated Quantized SGD", cited in the paper's related work) goes
+// further: the residual of each quantization is carried into the next
+// round's input, making the *time-averaged* transmitted signal track the
+// true signal even at 2-bit widths. This module implements the residual
+// store and a compensated encode path compatible with the halo-exchange
+// send maps, and the `bench_assigner`/tests quantify the bias reduction.
+#pragma once
+
+#include <vector>
+
+#include "dist/dist_graph.h"
+#include "quant/message_codec.h"
+#include "tensor/matrix.h"
+
+namespace adaqp {
+
+class Rng;
+
+/// Residual state for one device's outgoing messages: one row per (peer,
+/// send-slot) pair, laid out per peer in send-map order.
+class ErrorFeedbackState {
+ public:
+  ErrorFeedbackState() = default;
+  /// Allocate residual rows for every send slot of `dev` at width `dim`.
+  ErrorFeedbackState(const DeviceGraph& dev, std::size_t dim);
+
+  bool initialized() const { return !residuals_.empty(); }
+  std::size_t dim() const { return dim_; }
+
+  /// Residual matrix for peer p (rows aligned with dev.send_local[p]).
+  Matrix& residual_for_peer(int peer) { return residuals_[peer]; }
+  const Matrix& residual_for_peer(int peer) const { return residuals_[peer]; }
+
+  /// Sum of squared residual norms (diagnostic; decays to a bounded floor).
+  double residual_norm() const;
+
+  void reset();
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<Matrix> residuals_;  ///< one per peer
+};
+
+/// Encode the rows `dev.send_local[peer]` of `src` at the given bit-widths
+/// with error compensation: each message is quantized from
+/// (value + residual) and the new residual is what the receiver will *not*
+/// see. The returned block is wire-compatible with decode_rows.
+EncodedBlock encode_rows_compensated(const Matrix& src, const DeviceGraph& dev,
+                                     int peer, std::span<const int> bits,
+                                     ErrorFeedbackState& state, Rng& rng);
+
+}  // namespace adaqp

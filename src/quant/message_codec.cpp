@@ -1,0 +1,111 @@
+#include "quant/message_codec.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "quant/quantize.h"
+
+namespace adaqp {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xADA9B10Cu;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t& pos) {
+  ADAQP_CHECK_MSG(pos + 4 <= bytes.size(), "codec: truncated u32 at " << pos);
+  std::uint32_t v;
+  std::memcpy(&v, bytes.data() + pos, 4);
+  pos += 4;
+  return v;
+}
+
+float get_f32(std::span<const std::uint8_t> bytes, std::size_t& pos) {
+  ADAQP_CHECK_MSG(pos + 4 <= bytes.size(), "codec: truncated f32 at " << pos);
+  float v;
+  std::memcpy(&v, bytes.data() + pos, 4);
+  pos += 4;
+  return v;
+}
+
+}  // namespace
+
+EncodedBlock encode_rows(const Matrix& src, std::span<const NodeId> rows,
+                         std::span<const int> bits, Rng& rng) {
+  ADAQP_CHECK_MSG(rows.size() == bits.size(),
+                  "rows/bits arity mismatch: " << rows.size() << " vs "
+                                               << bits.size());
+  EncodedBlock block;
+  put_u32(block.bytes, kMagic);
+  put_u32(block.bytes, static_cast<std::uint32_t>(rows.size()));
+  put_u32(block.bytes, static_cast<std::uint32_t>(src.cols()));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    ADAQP_CHECK_MSG(rows[i] < src.rows(),
+                    "row " << rows[i] << " out of range " << src.rows());
+    const QuantizedVector qv = quantize(src.row(rows[i]), bits[i], rng);
+    block.bytes.push_back(static_cast<std::uint8_t>(qv.bits));
+    put_f32(block.bytes, qv.zero_point);
+    put_f32(block.bytes, qv.scale);
+    block.bytes.insert(block.bytes.end(), qv.payload.begin(),
+                       qv.payload.end());
+  }
+  return block;
+}
+
+void decode_rows(const EncodedBlock& block, Matrix& dst,
+                 std::span<const NodeId> dst_rows) {
+  std::span<const std::uint8_t> bytes(block.bytes);
+  std::size_t pos = 0;
+  ADAQP_CHECK_MSG(get_u32(bytes, pos) == kMagic, "codec: bad magic");
+  const std::uint32_t count = get_u32(bytes, pos);
+  const std::uint32_t dim = get_u32(bytes, pos);
+  ADAQP_CHECK_MSG(count == dst_rows.size(),
+                  "codec: block has " << count << " rows, expected "
+                                      << dst_rows.size());
+  ADAQP_CHECK_MSG(dim == dst.cols(),
+                  "codec: dim " << dim << " != dst cols " << dst.cols());
+  for (std::size_t i = 0; i < count; ++i) {
+    ADAQP_CHECK_MSG(pos < bytes.size(), "codec: truncated header for row " << i);
+    QuantizedVector qv;
+    qv.bits = bytes[pos++];
+    ADAQP_CHECK_MSG(is_valid_bit_width(qv.bits),
+                    "codec: invalid bit-width tag " << qv.bits);
+    qv.zero_point = get_f32(bytes, pos);
+    qv.scale = get_f32(bytes, pos);
+    qv.dim = dim;
+    const std::size_t payload =
+        qv.bits == 32 ? dim * sizeof(float)
+                      : (static_cast<std::size_t>(dim) * qv.bits + 7) / 8;
+    ADAQP_CHECK_MSG(pos + payload <= bytes.size(),
+                    "codec: truncated payload for row " << i);
+    qv.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(pos + payload));
+    pos += payload;
+    ADAQP_CHECK_MSG(dst_rows[i] < dst.rows(),
+                    "codec: dst row " << dst_rows[i] << " out of range");
+    dequantize(qv, dst.row(dst_rows[i]));
+  }
+  ADAQP_CHECK_MSG(pos == bytes.size(),
+                  "codec: " << bytes.size() - pos << " trailing bytes");
+}
+
+std::size_t encoded_wire_bytes(std::size_t num_rows, std::size_t dim,
+                               std::span<const int> bits) {
+  ADAQP_CHECK(bits.size() == num_rows);
+  std::size_t total = 12;  // magic + count + dim
+  for (int b : bits) total += 1 + quantized_wire_bytes(dim, b);
+  return total;
+}
+
+}  // namespace adaqp

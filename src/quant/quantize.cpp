@@ -1,0 +1,111 @@
+#include "quant/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+
+namespace adaqp {
+
+bool is_valid_bit_width(int bits) {
+  return bits == 2 || bits == 4 || bits == 8 || bits == 32;
+}
+
+std::size_t quantized_wire_bytes(std::size_t dim, int bits) {
+  ADAQP_CHECK(is_valid_bit_width(bits));
+  if (bits == 32) return dim * sizeof(float) + 2 * sizeof(float);
+  return (dim * static_cast<std::size_t>(bits) + 7) / 8 + 2 * sizeof(float);
+}
+
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint32_t> values,
+                                    int bits) {
+  ADAQP_CHECK(bits == 2 || bits == 4 || bits == 8);
+  const std::uint32_t mask = (1u << bits) - 1u;
+  std::vector<std::uint8_t> out((values.size() * bits + 7) / 8, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ADAQP_CHECK_MSG(values[i] <= mask,
+                    "value " << values[i] << " exceeds " << bits << "-bit range");
+    const std::size_t bit_pos = i * static_cast<std::size_t>(bits);
+    out[bit_pos / 8] |=
+        static_cast<std::uint8_t>(values[i] << (bit_pos % 8));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> unpack_bits(std::span<const std::uint8_t> packed,
+                                       int bits, std::size_t count) {
+  ADAQP_CHECK(bits == 2 || bits == 4 || bits == 8);
+  ADAQP_CHECK_MSG(packed.size() >= (count * bits + 7) / 8,
+                  "packed stream too short: " << packed.size() << " bytes for "
+                                              << count << " x " << bits << "b");
+  const std::uint32_t mask = (1u << bits) - 1u;
+  std::vector<std::uint32_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t bit_pos = i * static_cast<std::size_t>(bits);
+    out[i] = (packed[bit_pos / 8] >> (bit_pos % 8)) & mask;
+  }
+  return out;
+}
+
+QuantizedVector quantize(std::span<const float> values, int bits, Rng& rng) {
+  ADAQP_CHECK(is_valid_bit_width(bits));
+  QuantizedVector qv;
+  qv.bits = bits;
+  qv.dim = static_cast<std::uint32_t>(values.size());
+
+  if (bits == 32) {
+    qv.payload.resize(values.size() * sizeof(float));
+    std::memcpy(qv.payload.data(), values.data(), qv.payload.size());
+    return qv;
+  }
+
+  float lo = std::numeric_limits<float>::infinity();
+  float hi = -std::numeric_limits<float>::infinity();
+  for (float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (values.empty()) lo = hi = 0.0f;
+  qv.zero_point = lo;
+  const auto levels = static_cast<float>((1u << bits) - 1u);
+  qv.scale = (hi - lo) / levels;
+
+  std::vector<std::uint32_t> q(values.size(), 0);
+  if (qv.scale > 0.0f) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const float x = (values[i] - qv.zero_point) / qv.scale;
+      // Stochastic rounding: up with probability frac(x).
+      const float fl = std::floor(x);
+      const float frac = x - fl;
+      float r = fl + (rng.uniform_float() < frac ? 1.0f : 0.0f);
+      r = std::clamp(r, 0.0f, levels);
+      q[i] = static_cast<std::uint32_t>(r);
+    }
+  }
+  qv.payload = pack_bits(q, bits);
+  return qv;
+}
+
+void dequantize(const QuantizedVector& qv, std::span<float> out) {
+  ADAQP_CHECK_MSG(out.size() == qv.dim,
+                  "dequantize into " << out.size() << " floats, dim=" << qv.dim);
+  if (qv.bits == 32) {
+    ADAQP_CHECK_MSG(qv.payload.size() == qv.dim * sizeof(float),
+                    "corrupt float payload: " << qv.payload.size() << " bytes");
+    std::memcpy(out.data(), qv.payload.data(), qv.payload.size());
+    return;
+  }
+  const auto q = unpack_bits(qv.payload, qv.bits, qv.dim);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<float>(q[i]) * qv.scale + qv.zero_point;
+}
+
+double variance_bound(const QuantizedVector& qv) {
+  if (qv.bits == 32) return 0.0;
+  const double s = qv.scale;
+  return static_cast<double>(qv.dim) * s * s / 6.0;
+}
+
+}  // namespace adaqp

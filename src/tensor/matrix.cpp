@@ -1,0 +1,176 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace adaqp {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  ADAQP_CHECK_MSG(data_.size() == rows_ * cols_,
+                  "data size " << data_.size() << " != " << rows_ * cols_);
+}
+
+void Matrix::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::fill_normal(Rng& rng, float mean, float stddev) {
+  for (auto& v : data_)
+    v = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void Matrix::fill_uniform(Rng& rng, float lo, float hi) {
+  for (auto& v : data_)
+    v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void Matrix::fill_glorot(Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(rows_ + cols_ ? rows_ + cols_ : 1));
+  fill_uniform(rng, static_cast<float>(-limit), static_cast<float>(limit));
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+float Matrix::max_abs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void Matrix::add_inplace(const Matrix& other) {
+  ADAQP_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::axpy_inplace(float alpha, const Matrix& other) {
+  ADAQP_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::scale_inplace(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+// GEMM kernels use an ikj loop order so the inner loop streams contiguous
+// rows of B and C; adequate for the matrix sizes in this library without
+// pulling in a BLAS dependency.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  ADAQP_CHECK_MSG(a.cols() == b.rows(), "gemm: inner dims " << a.cols()
+                                                            << " vs " << b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
+  else c.set_zero();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
+  ADAQP_CHECK_MSG(a.rows() == b.rows(),
+                  "gemm_tn: shared dim " << a.rows() << " vs " << b.rows());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
+  else c.set_zero();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
+  ADAQP_CHECK_MSG(a.cols() == b.cols(),
+                  "gemm_nt: shared dim " << a.cols() << " vs " << b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
+  else c.set_zero();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+void relu_forward(const Matrix& in, Matrix& out) {
+  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out.data()[i] = in.data()[i] > 0.0f ? in.data()[i] : 0.0f;
+}
+
+void relu_backward(const Matrix& in, const Matrix& grad_out, Matrix& grad_in) {
+  ADAQP_CHECK(in.same_shape(grad_out));
+  if (!grad_in.same_shape(in)) grad_in = Matrix(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    grad_in.data()[i] = in.data()[i] > 0.0f ? grad_out.data()[i] : 0.0f;
+}
+
+void dropout_forward(const Matrix& in, float p, Rng& rng, Matrix& out,
+                     Matrix& mask) {
+  ADAQP_CHECK_MSG(p >= 0.0f && p < 1.0f, "dropout p=" << p);
+  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
+  if (!mask.same_shape(in)) mask = Matrix(in.rows(), in.cols());
+  if (p == 0.0f) {
+    mask.fill(1.0f);
+    std::copy(in.data(), in.data() + in.size(), out.data());
+    return;
+  }
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float m = rng.uniform_float() < p ? 0.0f : keep_scale;
+    mask.data()[i] = m;
+    out.data()[i] = in.data()[i] * m;
+  }
+}
+
+void dropout_backward(const Matrix& grad_out, const Matrix& mask,
+                      Matrix& grad_in) {
+  ADAQP_CHECK(grad_out.same_shape(mask));
+  if (!grad_in.same_shape(grad_out))
+    grad_in = Matrix(grad_out.rows(), grad_out.cols());
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    grad_in.data()[i] = grad_out.data()[i] * mask.data()[i];
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  ADAQP_CHECK(a.same_shape(b));
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+}  // namespace adaqp

@@ -1,0 +1,102 @@
+// Dense row-major float matrix — the tensor type for all GNN computation.
+//
+// The library deliberately avoids a general tensor/autograd framework: full-
+// graph GNN training touches a small, fixed set of kernels (GEMM in three
+// transposition variants, sparse-dense products, row-wise elementwise ops),
+// and each layer provides a hand-derived analytic backward pass that tests
+// validate against numerical gradients. Rows correspond to graph nodes and
+// columns to feature channels throughout the library.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace adaqp {
+
+class Rng;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Construct a rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// Construct from explicit data (size must equal rows*cols).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Mutable / const view of row r.
+  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(float value);
+  void set_zero() { fill(0.0f); }
+
+  /// Gaussian init with given std (used for weight matrices).
+  void fill_normal(Rng& rng, float mean, float stddev);
+  /// Uniform init in [lo, hi).
+  void fill_uniform(Rng& rng, float lo, float hi);
+  /// Glorot/Xavier uniform init based on (fan_in, fan_out) = (rows, cols).
+  void fill_glorot(Rng& rng);
+
+  /// Frobenius-norm and elementwise reductions.
+  double frobenius_norm() const;
+  double sum() const;
+  float max_abs() const;
+
+  /// this += other (shapes must match).
+  void add_inplace(const Matrix& other);
+  /// this += alpha * other.
+  void axpy_inplace(float alpha, const Matrix& other);
+  /// this *= alpha.
+  void scale_inplace(float alpha);
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---- GEMM variants (C is overwritten) -------------------------------------
+
+/// C = A * B             (m x k) * (k x n)
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+/// C = A^T * B           (k x m)^T * (k x n)
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c);
+/// C = A * B^T           (m x k) * (n x k)^T
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
+
+// ---- Elementwise / rowwise kernels ----------------------------------------
+
+/// out = relu(in); shapes must match.
+void relu_forward(const Matrix& in, Matrix& out);
+/// grad_in = grad_out ⊙ 1[in > 0].
+void relu_backward(const Matrix& in, const Matrix& grad_out, Matrix& grad_in);
+
+/// Inverted dropout: zero each element with prob p and scale survivors by
+/// 1/(1-p); `mask` records the applied multiplier for the backward pass.
+void dropout_forward(const Matrix& in, float p, Rng& rng, Matrix& out,
+                     Matrix& mask);
+void dropout_backward(const Matrix& grad_out, const Matrix& mask,
+                      Matrix& grad_in);
+
+/// Row max-abs difference between two same-shaped matrices.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace adaqp

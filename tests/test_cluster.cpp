@@ -1,0 +1,123 @@
+// Tests for the cluster cost model and ring all2all schedule.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "comm/cluster.h"
+
+namespace adaqp {
+namespace {
+
+TEST(ClusterSpec, PartitionSettingString) {
+  EXPECT_EQ(ClusterSpec::machines(2, 4).partition_setting(), "2M-4D");
+  EXPECT_EQ(ClusterSpec::machines(6, 4).partition_setting(), "6M-4D");
+}
+
+TEST(ClusterSpec, MachineAssignment) {
+  const ClusterSpec c = ClusterSpec::machines(2, 4);
+  EXPECT_EQ(c.num_devices(), 8);
+  EXPECT_EQ(c.machine_of(0), 0);
+  EXPECT_EQ(c.machine_of(3), 0);
+  EXPECT_EQ(c.machine_of(4), 1);
+  EXPECT_EQ(c.machine_of(7), 1);
+}
+
+TEST(ClusterSpec, IntraLinkFasterThanInter) {
+  const ClusterSpec c = ClusterSpec::machines(2, 2);
+  const double intra = c.transfer_seconds(0, 1, 1 << 20);
+  const double inter = c.transfer_seconds(0, 2, 1 << 20);
+  EXPECT_LT(intra, inter);
+}
+
+TEST(ClusterSpec, TransferTimeIsAffine) {
+  const ClusterSpec c = ClusterSpec::machines(1, 2);
+  const double t1 = c.transfer_seconds(0, 1, 1000);
+  const double t2 = c.transfer_seconds(0, 1, 2000);
+  const double gamma = c.intra_machine.gamma;
+  EXPECT_NEAR(t2 - t1, t1 - gamma, 1e-12);  // slope consistent
+}
+
+TEST(ClusterSpec, SelfAndEmptyTransfersAreFree) {
+  const ClusterSpec c = ClusterSpec::machines(2, 2);
+  EXPECT_EQ(c.transfer_seconds(1, 1, 12345), 0.0);
+  EXPECT_EQ(c.transfer_seconds(0, 3, 0), 0.0);
+}
+
+TEST(ClusterSpec, ComputeAndQuantScaling) {
+  const ClusterSpec c = ClusterSpec::machines(1, 1);
+  EXPECT_DOUBLE_EQ(c.compute_seconds(c.device_flops), 1.0);
+  EXPECT_DOUBLE_EQ(c.quant_seconds(static_cast<std::size_t>(
+                       c.quant_bytes_per_sec)), 1.0);
+}
+
+TEST(Ring, ScheduleIsPerfectPairing) {
+  // Across all rounds every ordered pair (i, j != i) appears exactly once
+  // as (sender, receiver), and send/recv views agree.
+  for (int n : {2, 3, 4, 8}) {
+    const RingAllToAll ring(n);
+    EXPECT_EQ(ring.num_rounds(), n - 1);
+    std::set<std::pair<int, int>> seen;
+    for (int r = 1; r <= ring.num_rounds(); ++r) {
+      for (int i = 0; i < n; ++i) {
+        const int dst = ring.send_peer(i, r);
+        EXPECT_NE(dst, i);
+        EXPECT_EQ(ring.recv_peer(dst, r), i);
+        EXPECT_TRUE(seen.emplace(i, dst).second)
+            << "pair repeated: " << i << "->" << dst;
+      }
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(n * (n - 1)));
+  }
+}
+
+TEST(Ring, StragglerTimingHandComputed) {
+  // 2 devices, one round: time = slower of the two transfers.
+  const ClusterSpec c = ClusterSpec::machines(1, 2);
+  const RingAllToAll ring(2);
+  std::vector<std::vector<std::size_t>> bytes = {{0, 1000}, {500, 0}};
+  const double expect =
+      std::max(c.transfer_seconds(0, 1, 1000), c.transfer_seconds(1, 0, 500));
+  std::vector<double> rounds;
+  EXPECT_DOUBLE_EQ(ring.total_seconds(c, bytes, &rounds), expect);
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(rounds[0], expect);
+}
+
+TEST(Ring, TotalIsSumOfRoundMaxima) {
+  const ClusterSpec c = ClusterSpec::machines(2, 2);
+  const RingAllToAll ring(4);
+  std::vector<std::vector<std::size_t>> bytes(4, std::vector<std::size_t>(4));
+  std::size_t v = 1;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      if (i != j) bytes[i][j] = 10000 * v++;
+  std::vector<double> rounds;
+  const double total = ring.total_seconds(c, bytes, &rounds);
+  ASSERT_EQ(rounds.size(), 3u);
+  double sum = 0.0;
+  for (double r : rounds) sum += r;
+  EXPECT_DOUBLE_EQ(total, sum);
+  // Verify one round by hand: round 1 pairs are i -> (i+1)%4.
+  double round1 = 0.0;
+  for (int i = 0; i < 4; ++i)
+    round1 = std::max(round1,
+                      c.transfer_seconds(i, (i + 1) % 4, bytes[i][(i + 1) % 4]));
+  EXPECT_DOUBLE_EQ(rounds[0], round1);
+}
+
+TEST(Ring, SizeMismatchThrows) {
+  const ClusterSpec c = ClusterSpec::machines(1, 2);
+  const RingAllToAll ring(2);
+  std::vector<std::vector<std::size_t>> bad(3, std::vector<std::size_t>(3, 0));
+  EXPECT_THROW(ring.total_seconds(c, bad), std::runtime_error);
+}
+
+TEST(Ring, SingleDeviceHasNoRounds) {
+  const ClusterSpec c = ClusterSpec::machines(1, 1);
+  const RingAllToAll ring(1);
+  std::vector<std::vector<std::size_t>> bytes = {{0}};
+  EXPECT_EQ(ring.total_seconds(c, bytes), 0.0);
+}
+
+}  // namespace
+}  // namespace adaqp

@@ -1,0 +1,158 @@
+// Tests for the message wire codec, including failure injection.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quant/message_codec.h"
+#include "quant/quantize.h"
+
+namespace adaqp {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  m.fill_uniform(rng, -1.0f, 1.0f);
+  return m;
+}
+
+TEST(Codec, FullPrecisionRoundTripIsExact) {
+  Rng rng(1);
+  Matrix src = random_matrix(10, 16, rng);
+  const std::vector<NodeId> rows = {1, 3, 7, 9};
+  const std::vector<int> bits(rows.size(), 32);
+  const EncodedBlock block = encode_rows(src, rows, bits, rng);
+
+  Matrix dst(12, 16);
+  const std::vector<NodeId> dst_rows = {0, 2, 4, 6};
+  decode_rows(block, dst, dst_rows);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (std::size_t c = 0; c < 16; ++c)
+      EXPECT_EQ(dst.at(dst_rows[i], c), src.at(rows[i], c));
+}
+
+TEST(Codec, MixedBitWidthsDecodeWithinScale) {
+  Rng rng(2);
+  Matrix src = random_matrix(8, 32, rng);
+  const std::vector<NodeId> rows = {0, 1, 2, 3};
+  const std::vector<int> bits = {2, 4, 8, 32};
+  const EncodedBlock block = encode_rows(src, rows, bits, rng);
+  Matrix dst(8, 32);
+  decode_rows(block, dst, rows);
+  // Each decoded row's max error is bounded by that row's quantization step.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto qv = quantize(src.row(rows[i]), bits[i], rng);
+    for (std::size_t c = 0; c < 32; ++c)
+      EXPECT_LE(std::fabs(dst.at(rows[i], c) - src.at(rows[i], c)),
+                qv.scale + 1e-6f);
+  }
+}
+
+TEST(Codec, WireBytesMatchPrediction) {
+  Rng rng(3);
+  Matrix src = random_matrix(6, 24, rng);
+  const std::vector<NodeId> rows = {0, 2, 4};
+  const std::vector<int> bits = {2, 8, 32};
+  const EncodedBlock block = encode_rows(src, rows, bits, rng);
+  EXPECT_EQ(block.wire_bytes(), encoded_wire_bytes(3, 24, bits));
+}
+
+TEST(Codec, SmallerBitsSmallerBlocks) {
+  Rng rng(4);
+  Matrix src = random_matrix(16, 64, rng);
+  std::vector<NodeId> rows(16);
+  for (NodeId i = 0; i < 16; ++i) rows[i] = i;
+  std::size_t prev = SIZE_MAX;
+  for (int b : {32, 8, 4, 2}) {
+    const std::vector<int> bits(rows.size(), b);
+    const auto block = encode_rows(src, rows, bits, rng);
+    EXPECT_LT(block.wire_bytes(), prev);
+    prev = block.wire_bytes();
+  }
+}
+
+TEST(Codec, EmptyRowSetProducesHeaderOnly) {
+  Rng rng(5);
+  Matrix src = random_matrix(4, 8, rng);
+  const std::vector<NodeId> rows;
+  const std::vector<int> bits;
+  const EncodedBlock block = encode_rows(src, rows, bits, rng);
+  EXPECT_EQ(block.wire_bytes(), 12u);
+  Matrix dst(4, 8);
+  EXPECT_NO_THROW(decode_rows(block, dst, rows));
+}
+
+TEST(Codec, ArityMismatchThrows) {
+  Rng rng(6);
+  Matrix src = random_matrix(4, 8, rng);
+  const std::vector<NodeId> rows = {0, 1};
+  const std::vector<int> bits = {8};
+  EXPECT_THROW(encode_rows(src, rows, bits, rng), std::runtime_error);
+}
+
+TEST(Codec, OutOfRangeSourceRowThrows) {
+  Rng rng(7);
+  Matrix src = random_matrix(4, 8, rng);
+  const std::vector<NodeId> rows = {9};
+  const std::vector<int> bits = {8};
+  EXPECT_THROW(encode_rows(src, rows, bits, rng), std::runtime_error);
+}
+
+// ---- Failure injection ------------------------------------------------------
+
+class CodecCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(8);
+    src_ = random_matrix(6, 16, rng);
+    rows_ = {0, 1, 2};
+    const std::vector<int> bits = {2, 4, 8};
+    block_ = encode_rows(src_, rows_, bits, rng);
+  }
+  Matrix src_;
+  std::vector<NodeId> rows_;
+  EncodedBlock block_;
+};
+
+TEST_F(CodecCorruptionTest, BadMagicRejected) {
+  block_.bytes[0] ^= 0xFF;
+  Matrix dst(6, 16);
+  EXPECT_THROW(decode_rows(block_, dst, rows_), std::runtime_error);
+}
+
+TEST_F(CodecCorruptionTest, TruncatedPayloadRejected) {
+  block_.bytes.resize(block_.bytes.size() - 3);
+  Matrix dst(6, 16);
+  EXPECT_THROW(decode_rows(block_, dst, rows_), std::runtime_error);
+}
+
+TEST_F(CodecCorruptionTest, TrailingGarbageRejected) {
+  block_.bytes.push_back(0xAB);
+  Matrix dst(6, 16);
+  EXPECT_THROW(decode_rows(block_, dst, rows_), std::runtime_error);
+}
+
+TEST_F(CodecCorruptionTest, InvalidBitTagRejected) {
+  // The first per-row tag byte sits right after the 12-byte header.
+  block_.bytes[12] = 13;  // not a valid width
+  Matrix dst(6, 16);
+  EXPECT_THROW(decode_rows(block_, dst, rows_), std::runtime_error);
+}
+
+TEST_F(CodecCorruptionTest, RowCountMismatchRejected) {
+  Matrix dst(6, 16);
+  const std::vector<NodeId> wrong_rows = {0, 1};
+  EXPECT_THROW(decode_rows(block_, dst, wrong_rows), std::runtime_error);
+}
+
+TEST_F(CodecCorruptionTest, DimMismatchRejected) {
+  Matrix dst(6, 8);  // wrong width
+  EXPECT_THROW(decode_rows(block_, dst, rows_), std::runtime_error);
+}
+
+TEST_F(CodecCorruptionTest, DestinationRowOutOfRangeRejected) {
+  Matrix dst(2, 16);
+  const std::vector<NodeId> bad = {0, 1, 5};
+  EXPECT_THROW(decode_rows(block_, dst, bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adaqp

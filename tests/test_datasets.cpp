@@ -1,0 +1,122 @@
+// Tests for the synthetic dataset registry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+
+namespace adaqp {
+namespace {
+
+class BenchmarkDatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkDatasetTest, GeneratesConsistentStructure) {
+  const Dataset ds = make_dataset(GetParam(), 7);
+  EXPECT_EQ(ds.num_nodes(), ds.spec.num_nodes);
+  EXPECT_EQ(ds.features.rows(), ds.spec.num_nodes);
+  EXPECT_EQ(ds.features.cols(), ds.spec.feature_dim);
+  EXPECT_EQ(ds.labels.size(), ds.spec.num_nodes);
+  for (auto label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, static_cast<std::int32_t>(ds.spec.num_classes));
+  }
+  if (ds.spec.multi_label) {
+    EXPECT_EQ(ds.label_matrix.rows(), ds.spec.num_nodes);
+    EXPECT_EQ(ds.label_matrix.cols(), ds.spec.num_classes);
+    // The primary label must always be on.
+    for (std::size_t v = 0; v < ds.num_nodes(); ++v)
+      EXPECT_EQ(ds.label_matrix.at(v, ds.labels[v]), 1.0f);
+  }
+}
+
+TEST_P(BenchmarkDatasetTest, SplitsPartitionTheNodeSet) {
+  const Dataset ds = make_dataset(GetParam(), 8);
+  std::set<std::uint32_t> all;
+  for (auto v : ds.train_nodes) all.insert(v);
+  for (auto v : ds.val_nodes) all.insert(v);
+  for (auto v : ds.test_nodes) all.insert(v);
+  EXPECT_EQ(all.size(),
+            ds.train_nodes.size() + ds.val_nodes.size() + ds.test_nodes.size())
+      << "splits overlap";
+  EXPECT_EQ(all.size(), ds.num_nodes()) << "splits do not cover";
+  // Fractions approximately honored.
+  EXPECT_NEAR(static_cast<double>(ds.train_nodes.size()) / ds.num_nodes(),
+              ds.spec.train_fraction, 0.01);
+}
+
+TEST_P(BenchmarkDatasetTest, DeterministicPerSeed) {
+  const Dataset a = make_dataset(GetParam(), 99);
+  const Dataset b = make_dataset(GetParam(), 99);
+  EXPECT_EQ(a.graph.num_directed_edges(), b.graph.num_directed_edges());
+  EXPECT_EQ(max_abs_diff(a.features, b.features), 0.0f);
+  EXPECT_EQ(a.train_nodes, b.train_nodes);
+}
+
+TEST_P(BenchmarkDatasetTest, FeaturesCarryClassSignal) {
+  // Same-class feature vectors must be closer (on average) than
+  // different-class ones — otherwise no GNN can learn.
+  const Dataset ds = make_dataset(GetParam(), 10);
+  Rng rng(11);
+  double same = 0.0, diff = 0.0;
+  int same_n = 0, diff_n = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const auto a = rng.uniform_int(ds.num_nodes());
+    const auto b = rng.uniform_int(ds.num_nodes());
+    if (a == b) continue;
+    double d2 = 0.0;
+    for (std::size_t f = 0; f < ds.spec.feature_dim; ++f) {
+      const double d = ds.features.at(a, f) - ds.features.at(b, f);
+      d2 += d * d;
+    }
+    if (ds.labels[a] == ds.labels[b]) {
+      same += d2;
+      ++same_n;
+    } else {
+      diff += d2;
+      ++diff_n;
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(diff_n, 0);
+  EXPECT_LT(same / same_n, 0.9 * diff / diff_n);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BenchmarkDatasetTest,
+                         ::testing::Values("reddit_sim", "yelp_sim",
+                                           "products_sim", "amazon_sim"));
+
+TEST(DatasetRegistry, DensityOrderingFollowsPaper) {
+  // Reddit ≫ Amazon > products > Yelp in average degree (Table 3 scaling).
+  const auto reddit = dataset_spec("reddit_sim");
+  const auto amazon = dataset_spec("amazon_sim");
+  const auto products = dataset_spec("products_sim");
+  const auto yelp = dataset_spec("yelp_sim");
+  EXPECT_GT(reddit.avg_degree, amazon.avg_degree);
+  EXPECT_GT(amazon.avg_degree, products.avg_degree);
+  EXPECT_GT(products.avg_degree, yelp.avg_degree);
+}
+
+TEST(DatasetRegistry, TaskTypesFollowPaper) {
+  EXPECT_FALSE(dataset_spec("reddit_sim").multi_label);
+  EXPECT_FALSE(dataset_spec("products_sim").multi_label);
+  EXPECT_TRUE(dataset_spec("yelp_sim").multi_label);
+  EXPECT_TRUE(dataset_spec("amazon_sim").multi_label);
+}
+
+TEST(DatasetRegistry, UnknownNameThrows) {
+  EXPECT_THROW(dataset_spec("ogbn-papers100M"), std::runtime_error);
+}
+
+TEST(DatasetRegistry, AllBenchmarkSpecsComplete) {
+  const auto specs = all_benchmark_specs();
+  ASSERT_EQ(specs.size(), 4u);
+  for (const auto& spec : specs) {
+    EXPECT_GT(spec.num_nodes, 0u);
+    EXPECT_GT(spec.num_classes, 1u);
+    EXPECT_GT(spec.feature_dim, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace adaqp

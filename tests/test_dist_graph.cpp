@@ -1,0 +1,175 @@
+// Tests for the distributed graph view (halo maps, central/marginal split).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "dist/dist_graph.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+
+namespace adaqp {
+namespace {
+
+PartitionResult fixed_partition(std::vector<int> part_of, int k) {
+  PartitionResult r;
+  r.part_of = std::move(part_of);
+  r.num_parts = k;
+  return r;
+}
+
+TEST(DistGraph, PathGraphTwoParts) {
+  // 0-1-2-3 split {0,1} | {2,3}: the cut edge is 1-2.
+  Graph g = path_graph(4);
+  const auto dist = build_dist_graph(g, fixed_partition({0, 0, 1, 1}, 2));
+  ASSERT_EQ(dist.num_devices(), 2);
+
+  const DeviceGraph& d0 = dist.devices[0];
+  EXPECT_EQ(d0.num_owned, 2u);
+  EXPECT_EQ(d0.num_halo, 1u);                      // global node 2
+  EXPECT_EQ(d0.global_of_local[2], 2u);
+  EXPECT_EQ(d0.central_nodes.size(), 1u);          // node 0
+  EXPECT_EQ(d0.marginal_nodes.size(), 1u);         // node 1
+  EXPECT_EQ(d0.global_of_local[d0.central_nodes[0]], 0u);
+  EXPECT_EQ(d0.global_of_local[d0.marginal_nodes[0]], 1u);
+  EXPECT_EQ(d0.send_local[1].size(), 1u);          // sends node 1 to dev 1
+  EXPECT_EQ(d0.global_of_local[d0.send_local[1][0]], 1u);
+  EXPECT_EQ(d0.recv_local[1].size(), 1u);          // receives node 2
+
+  const DeviceGraph& d1 = dist.devices[1];
+  EXPECT_EQ(d1.num_owned, 2u);
+  EXPECT_EQ(d1.num_halo, 1u);
+  EXPECT_EQ(d1.global_of_local[d1.send_local[0][0]], 2u);
+}
+
+TEST(DistGraph, GlobalDegreesPreserved) {
+  Rng rng(1);
+  Graph g = erdos_renyi(120, 600, rng);
+  const auto part = RandomPartitioner().partition(g, 3, rng);
+  const auto dist = build_dist_graph(g, part);
+  for (const auto& dev : dist.devices)
+    for (std::size_t i = 0; i < dev.num_local(); ++i)
+      EXPECT_EQ(dev.global_degree[i], g.degree(dev.global_of_local[i]));
+}
+
+TEST(DistGraph, LocalCsrMatchesGlobalNeighborhoods) {
+  Rng rng(2);
+  Graph g = erdos_renyi(100, 400, rng);
+  const auto part = FennelPartitioner().partition(g, 4, rng);
+  const auto dist = build_dist_graph(g, part);
+  for (const auto& dev : dist.devices) {
+    for (std::size_t i = 0; i < dev.num_owned; ++i) {
+      std::multiset<NodeId> local_globals;
+      for (NodeId u : dev.neighbors(static_cast<NodeId>(i)))
+        local_globals.insert(dev.global_of_local[u]);
+      const auto global_nbrs = g.neighbors(dev.global_of_local[i]);
+      std::multiset<NodeId> expected(global_nbrs.begin(), global_nbrs.end());
+      EXPECT_EQ(local_globals, expected);
+    }
+  }
+}
+
+TEST(DistGraph, SendRecvAlignment) {
+  // For every (sender d, receiver p): sender's send_local[p] and receiver's
+  // recv_local[d] must reference the same global nodes in the same order.
+  Rng rng(3);
+  DcSbmParams params;
+  params.num_nodes = 500;
+  params.num_blocks = 5;
+  params.avg_degree = 8.0;
+  DcSbm sbm = dc_sbm(params, rng);
+  const auto part = MultilevelPartitioner().partition(sbm.graph, 4, rng);
+  const auto dist = build_dist_graph(sbm.graph, part);
+  for (int d = 0; d < 4; ++d)
+    for (int p = 0; p < 4; ++p) {
+      const auto& send = dist.devices[d].send_local[p];
+      const auto& recv = dist.devices[p].recv_local[d];
+      ASSERT_EQ(send.size(), recv.size());
+      for (std::size_t i = 0; i < send.size(); ++i)
+        EXPECT_EQ(dist.devices[d].global_of_local[send[i]],
+                  dist.devices[p].global_of_local[recv[i]]);
+    }
+}
+
+TEST(DistGraph, HaloIsExactlyRemoteOneHopNeighborhood) {
+  Rng rng(4);
+  Graph g = erdos_renyi(150, 700, rng);
+  const auto part = RandomPartitioner().partition(g, 3, rng);
+  const auto dist = build_dist_graph(g, part);
+  for (int d = 0; d < 3; ++d) {
+    const auto& dev = dist.devices[d];
+    std::set<NodeId> expected;
+    for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+      if (part.part_of[v] != d) continue;
+      for (NodeId u : g.neighbors(static_cast<NodeId>(v)))
+        if (part.part_of[u] != d) expected.insert(u);
+    }
+    std::set<NodeId> actual(dev.global_of_local.begin() + dev.num_owned,
+                            dev.global_of_local.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(DistGraph, CentralNodesHaveNoRemoteNeighbors) {
+  Rng rng(5);
+  Graph g = erdos_renyi(200, 900, rng);
+  const auto part = FennelPartitioner().partition(g, 4, rng);
+  const auto dist = build_dist_graph(g, part);
+  for (const auto& dev : dist.devices) {
+    EXPECT_EQ(dev.central_nodes.size() + dev.marginal_nodes.size(),
+              dev.num_owned);
+    for (NodeId v : dev.central_nodes)
+      for (NodeId u : dev.neighbors(v))
+        EXPECT_LT(u, dev.num_owned) << "central node with halo neighbor";
+    for (NodeId v : dev.marginal_nodes) {
+      bool has_remote = false;
+      for (NodeId u : dev.neighbors(v))
+        if (u >= dev.num_owned) has_remote = true;
+      EXPECT_TRUE(has_remote) << "marginal node without halo neighbor";
+    }
+  }
+}
+
+TEST(DistGraph, SinglePartitionHasNoHalo) {
+  Graph g = ring_graph(20);
+  const auto dist =
+      build_dist_graph(g, fixed_partition(std::vector<int>(20, 0), 1));
+  EXPECT_EQ(dist.devices[0].num_halo, 0u);
+  EXPECT_EQ(dist.devices[0].marginal_nodes.size(), 0u);
+  EXPECT_EQ(dist.devices[0].central_nodes.size(), 20u);
+  EXPECT_DOUBLE_EQ(dist.remote_neighbor_ratio(), 0.0);
+}
+
+TEST(DistGraph, RemoteNeighborRatioHandComputed) {
+  // Path 0-1-2-3 split in the middle: each device owns 2 nodes, 1 halo.
+  Graph g = path_graph(4);
+  const auto dist = build_dist_graph(g, fixed_partition({0, 0, 1, 1}, 2));
+  EXPECT_DOUBLE_EQ(dist.remote_neighbor_ratio(), 0.5);
+}
+
+TEST(ScatterGather, RoundTripsOwnedRows) {
+  Rng rng(6);
+  Graph g = erdos_renyi(60, 240, rng);
+  const auto part = RandomPartitioner().partition(g, 3, rng);
+  const auto dist = build_dist_graph(g, part);
+  Matrix global(60, 7);
+  global.fill_uniform(rng, -1.0f, 1.0f);
+  const auto locals = scatter_to_devices(global, dist);
+  for (int d = 0; d < 3; ++d)
+    EXPECT_EQ(locals[d].rows(), dist.devices[d].num_local());
+  const Matrix back = gather_from_devices(locals, dist, 7);
+  EXPECT_EQ(max_abs_diff(global, back), 0.0f);
+}
+
+TEST(DistGraph, EdgesOfCountsIncidentEntries) {
+  Graph g = star_graph(5);  // hub 0
+  const auto dist =
+      build_dist_graph(g, fixed_partition({0, 0, 0, 1, 1}, 2));
+  const auto& d0 = dist.devices[0];
+  std::vector<NodeId> hub = {0};  // local id of hub on device 0
+  EXPECT_EQ(d0.edges_of(hub), 4u);
+  EXPECT_EQ(d0.total_edges(), 4u + 2u);  // hub row + two leaf rows
+}
+
+}  // namespace
+}  // namespace adaqp

@@ -1,0 +1,147 @@
+// Tests for the error-feedback (compensated) quantization extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dist/dist_graph.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "quant/error_feedback.h"
+#include "quant/quantize.h"
+
+namespace adaqp {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  DistGraph dist;
+
+  Fixture() {
+    Rng rng(5);
+    graph = erdos_renyi(80, 400, rng);
+    const auto part = FennelPartitioner().partition(graph, 2, rng);
+    dist = build_dist_graph(graph, part);
+  }
+};
+
+TEST(ErrorFeedback, StateShapesFollowSendMaps) {
+  Fixture f;
+  const auto& dev = f.dist.devices[0];
+  ErrorFeedbackState state(dev, 8);
+  EXPECT_TRUE(state.initialized());
+  for (std::size_t p = 0; p < dev.send_local.size(); ++p)
+    EXPECT_EQ(state.residual_for_peer(static_cast<int>(p)).rows(),
+              dev.send_local[p].size());
+  EXPECT_EQ(state.residual_norm(), 0.0);
+}
+
+TEST(ErrorFeedback, FirstRoundMatchesPlainQuantization) {
+  // With zero residuals the compensated encoder must equal encode_rows
+  // under the same RNG stream.
+  Fixture f;
+  const auto& dev = f.dist.devices[0];
+  const std::size_t dim = 16;
+  Rng rng(6);
+  Matrix src(dev.num_local(), dim);
+  src.fill_uniform(rng, -1.0f, 1.0f);
+  const std::vector<int> bits(dev.send_local[1].size(), 4);
+
+  ErrorFeedbackState state(dev, dim);
+  Rng rng_a(77), rng_b(77);
+  const EncodedBlock compensated =
+      encode_rows_compensated(src, dev, 1, bits, state, rng_a);
+  const EncodedBlock plain = encode_rows(src, dev.send_local[1], bits, rng_b);
+  EXPECT_EQ(compensated.bytes, plain.bytes);
+  EXPECT_GT(state.residual_norm(), 0.0);  // residual banked for next round
+}
+
+TEST(ErrorFeedback, TimeAveragedSignalConvergesToTruth) {
+  // Repeatedly sending the same vector at 2 bits: the running mean of the
+  // decoded values must approach the true values much faster with error
+  // feedback than the per-round quantization error.
+  Fixture f;
+  const auto& dev = f.dist.devices[0];
+  const std::size_t dim = 8;
+  Rng rng(7);
+  Matrix src(dev.num_local(), dim);
+  src.fill_uniform(rng, -1.0f, 1.0f);
+  const auto& sends = dev.send_local[1];
+  ASSERT_FALSE(sends.empty());
+  const std::vector<int> bits(sends.size(), 2);
+
+  ErrorFeedbackState state(dev, dim);
+  Matrix mean(sends.size(), dim);
+  const int rounds = 64;
+  for (int t = 0; t < rounds; ++t) {
+    const EncodedBlock block =
+        encode_rows_compensated(src, dev, 1, bits, state, rng);
+    Matrix decoded(sends.size(), dim);
+    std::vector<NodeId> seq(sends.size());
+    for (std::size_t i = 0; i < seq.size(); ++i)
+      seq[i] = static_cast<NodeId>(i);
+    decode_rows(block, decoded, seq);
+    mean.add_inplace(decoded);
+  }
+  mean.scale_inplace(1.0f / rounds);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < sends.size(); ++i)
+    for (std::size_t c = 0; c < dim; ++c)
+      max_err = std::max(max_err, std::fabs(static_cast<double>(
+                                      mean.at(i, c) - src.at(sends[i], c))));
+  // Error-feedback drives the time-averaged error to ~scale/rounds, far
+  // below a single 2-bit step (range/3 could be ~0.6 here).
+  EXPECT_LT(max_err, 0.07);
+}
+
+TEST(ErrorFeedback, ResidualStaysBounded) {
+  // The residual never exceeds one quantization step per element.
+  Fixture f;
+  const auto& dev = f.dist.devices[0];
+  const std::size_t dim = 8;
+  Rng rng(8);
+  Matrix src(dev.num_local(), dim);
+  src.fill_uniform(rng, -2.0f, 2.0f);
+  const auto& sends = dev.send_local[1];
+  const std::vector<int> bits(sends.size(), 2);
+  ErrorFeedbackState state(dev, dim);
+  for (int t = 0; t < 32; ++t)
+    encode_rows_compensated(src, dev, 1, bits, state, rng);
+  const Matrix& residual = state.residual_for_peer(1);
+  // Worst-case step: (range of compensated vector) / 3 levels; compensated
+  // values stay within range + step, so 2x the raw step is a safe bound.
+  Rng probe(9);
+  for (std::size_t i = 0; i < sends.size(); ++i) {
+    const auto qv = quantize(src.row(sends[i]), 2, probe);
+    for (std::size_t c = 0; c < dim; ++c)
+      EXPECT_LE(std::fabs(residual.at(i, c)), 2.5f * qv.scale + 1e-5f);
+  }
+}
+
+TEST(ErrorFeedback, ResetClearsResiduals) {
+  Fixture f;
+  const auto& dev = f.dist.devices[0];
+  ErrorFeedbackState state(dev, 4);
+  Rng rng(10);
+  Matrix src(dev.num_local(), 4);
+  src.fill_uniform(rng, -1.0f, 1.0f);
+  const std::vector<int> bits(dev.send_local[1].size(), 2);
+  encode_rows_compensated(src, dev, 1, bits, state, rng);
+  EXPECT_GT(state.residual_norm(), 0.0);
+  state.reset();
+  EXPECT_EQ(state.residual_norm(), 0.0);
+}
+
+TEST(ErrorFeedback, MismatchedStateRejected) {
+  Fixture f;
+  const auto& dev = f.dist.devices[0];
+  ErrorFeedbackState state(dev, 4);
+  Rng rng(11);
+  Matrix src(dev.num_local(), 8);  // dim mismatch
+  const std::vector<int> bits(dev.send_local[1].size(), 2);
+  EXPECT_THROW(encode_rows_compensated(src, dev, 1, bits, state, rng),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adaqp

@@ -1,0 +1,193 @@
+// Tests for CSR graph storage, builders and generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace adaqp {
+namespace {
+
+/// Structural invariants every graph in the library must satisfy:
+/// symmetric, sorted adjacency, no self-loops, no duplicates.
+void expect_well_formed(const Graph& g) {
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(static_cast<NodeId>(v));
+    ASSERT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    ASSERT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+    for (NodeId u : nbrs) {
+      ASSERT_NE(u, v) << "self loop at " << v;
+      ASSERT_LT(u, g.num_nodes());
+      ASSERT_TRUE(g.has_edge(u, static_cast<NodeId>(v)))
+          << "asymmetric edge " << v << "->" << u;
+    }
+  }
+}
+
+TEST(GraphBuild, SymmetrizesAndDedupes) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}};
+  Graph g = build_graph(3, edges);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_undirected_edges(), 2u);  // {0,1}, {1,2}; self-loop dropped
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GraphBuild, OutOfRangeEdgeThrows) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {{0, 5}};
+  EXPECT_THROW(build_graph(3, edges), std::runtime_error);
+}
+
+TEST(GraphBuild, EmptyGraph) {
+  Graph g = build_graph(4, std::vector<std::pair<NodeId, NodeId>>{});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_directed_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(GraphBuild, DegreesAndAverages) {
+  Graph g = star_graph(5);
+  EXPECT_EQ(g.degree(0), 4u);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 8.0 / 5.0);
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(DeterministicGraphs, Ring) {
+  Graph g = ring_graph(6);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_undirected_edges(), 6u);
+  for (std::size_t v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(DeterministicGraphs, Complete) {
+  Graph g = complete_graph(5);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_undirected_edges(), 10u);
+  for (std::size_t v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(DeterministicGraphs, Grid) {
+  Graph g = grid_graph(3, 4);
+  expect_well_formed(g);
+  // 3x4 grid: 3*3 horizontal + 2*4 vertical = 17 edges.
+  EXPECT_EQ(g.num_undirected_edges(), 17u);
+  EXPECT_EQ(g.num_nodes(), 12u);
+}
+
+TEST(DeterministicGraphs, Path) {
+  Graph g = path_graph(4);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  Graph g = grid_graph(2, 3);  // nodes 0..5
+  const std::vector<NodeId> keep = {0, 1, 3};
+  Graph sub = induced_subgraph(g, keep);
+  expect_well_formed(sub);
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  // 0-1 (horizontal) and 0-3 (vertical) survive; 1-4, 3-4 don't.
+  EXPECT_EQ(sub.num_undirected_edges(), 2u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(0, 2));  // local id of global 3 is 2
+}
+
+TEST(InducedSubgraph, DuplicateKeepThrows) {
+  Graph g = ring_graph(4);
+  const std::vector<NodeId> keep = {0, 0};
+  EXPECT_THROW(induced_subgraph(g, keep), std::runtime_error);
+}
+
+TEST(EdgeCut, HandComputed) {
+  Graph g = path_graph(4);  // 0-1-2-3
+  const std::vector<int> part = {0, 0, 1, 1};
+  EXPECT_EQ(edge_cut(g, part), 1u);
+  const std::vector<int> alt = {0, 1, 0, 1};
+  EXPECT_EQ(edge_cut(g, alt), 3u);
+}
+
+TEST(ErdosRenyi, HitsTargetEdgeCount) {
+  Rng rng(1);
+  Graph g = erdos_renyi(200, 800, rng);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_undirected_edges(), 800u);
+}
+
+TEST(ErdosRenyi, CapsAtCompleteGraph) {
+  Rng rng(2);
+  Graph g = erdos_renyi(5, 1000, rng);
+  EXPECT_EQ(g.num_undirected_edges(), 10u);
+}
+
+TEST(Rmat, ProducesSkewedDegrees) {
+  Rng rng(3);
+  Graph g = rmat(10, 4000, 0.57, 0.19, 0.19, rng);
+  expect_well_formed(g);
+  EXPECT_GT(g.num_undirected_edges(), 3000u);
+  // R-MAT with standard params concentrates degree on low-id quadrants.
+  EXPECT_GT(g.max_degree(), 4 * static_cast<std::size_t>(g.average_degree()));
+}
+
+TEST(Rmat, InvalidProbabilitiesThrow) {
+  Rng rng(4);
+  EXPECT_THROW(rmat(8, 100, 0.6, 0.3, 0.3, rng), std::runtime_error);
+}
+
+class DcSbmTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DcSbmTest, StructuralInvariants) {
+  const std::size_t blocks = GetParam();
+  Rng rng(100 + blocks);
+  DcSbmParams params;
+  params.num_nodes = 600;
+  params.num_blocks = blocks;
+  params.avg_degree = 10.0;
+  params.intra_prob = 0.8;
+  DcSbm out = dc_sbm(params, rng);
+  expect_well_formed(out.graph);
+  EXPECT_EQ(out.block_of.size(), 600u);
+  for (int b : out.block_of) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, static_cast<int>(blocks));
+  }
+  // Edge count near target (rejection sampling may fall slightly short).
+  EXPECT_GT(out.graph.num_undirected_edges(), 2500u);
+  EXPECT_LE(out.graph.num_undirected_edges(), 3000u);
+}
+
+TEST_P(DcSbmTest, Assortativity) {
+  const std::size_t blocks = GetParam();
+  if (blocks < 2) GTEST_SKIP() << "assortativity needs >= 2 blocks";
+  Rng rng(200 + blocks);
+  DcSbmParams params;
+  params.num_nodes = 800;
+  params.num_blocks = blocks;
+  params.avg_degree = 12.0;
+  params.intra_prob = 0.8;
+  DcSbm out = dc_sbm(params, rng);
+  std::size_t intra = 0, total = 0;
+  for (std::size_t v = 0; v < out.graph.num_nodes(); ++v)
+    for (NodeId u : out.graph.neighbors(static_cast<NodeId>(v))) {
+      if (v < u) {
+        ++total;
+        if (out.block_of[v] == out.block_of[u]) ++intra;
+      }
+    }
+  // Under uniform wiring intra fraction would be ~1/blocks; the planted
+  // structure should push it well above that.
+  const double frac = static_cast<double>(intra) / total;
+  EXPECT_GT(frac, 1.5 / static_cast<double>(blocks));
+  EXPECT_GT(frac, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, DcSbmTest, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace adaqp

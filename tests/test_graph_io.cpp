@@ -1,0 +1,102 @@
+// Tests for graph file I/O (edge lists and METIS format).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace adaqp {
+namespace {
+
+bool graphs_equal(const Graph& a, const Graph& b) {
+  return a.offsets() == b.offsets() && a.neighbor_array() == b.neighbor_array();
+}
+
+TEST(EdgeListIo, RoundTrip) {
+  Rng rng(1);
+  Graph g = erdos_renyi(80, 300, rng);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  Graph back = read_edge_list(ss, 80);
+  EXPECT_TRUE(graphs_equal(g, back));
+}
+
+TEST(EdgeListIo, ReadsCommentsAndInfersNodeCount) {
+  std::stringstream ss("# comment\n% also comment\n0 1\n1 2\n\n2 3\n");
+  Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(EdgeListIo, MalformedLineThrows) {
+  std::stringstream ss("0 1\nnot numbers\n");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+TEST(EdgeListIo, FileRoundTrip) {
+  Rng rng(2);
+  Graph g = erdos_renyi(40, 120, rng);
+  const std::string path = "/tmp/adaqp_io_test_edges.txt";
+  write_edge_list_file(g, path);
+  Graph back = read_edge_list_file(path, 40);
+  EXPECT_TRUE(graphs_equal(g, back));
+}
+
+TEST(EdgeListIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path.txt"),
+               std::runtime_error);
+}
+
+TEST(MetisIo, RoundTrip) {
+  Rng rng(3);
+  Graph g = erdos_renyi(60, 200, rng);
+  std::stringstream ss;
+  write_metis(g, ss);
+  Graph back = read_metis(ss);
+  EXPECT_TRUE(graphs_equal(g, back));
+}
+
+TEST(MetisIo, HandWrittenExample) {
+  // The triangle + pendant graph from the METIS manual style:
+  // 4 nodes, 4 edges: 1-2, 1-3, 2-3, 3-4 (1-based in the file).
+  std::stringstream ss("4 4\n2 3\n1 3\n1 2 4\n3\n");
+  Graph g = read_metis(ss);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_undirected_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(MetisIo, IsolatedNodesPreserved) {
+  std::stringstream ss("3 1\n2\n1\n\n");
+  Graph g = read_metis(ss);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(MetisIo, WeightedFormatRejected) {
+  std::stringstream ss("2 1 1\n2 5\n1 5\n");
+  EXPECT_THROW(read_metis(ss), std::runtime_error);
+}
+
+TEST(MetisIo, EdgeCountMismatchRejected) {
+  std::stringstream ss("3 5\n2\n1 3\n2\n");
+  EXPECT_THROW(read_metis(ss), std::runtime_error);
+}
+
+TEST(MetisIo, NeighborOutOfRangeRejected) {
+  std::stringstream ss("2 1\n9\n1\n");
+  EXPECT_THROW(read_metis(ss), std::runtime_error);
+}
+
+TEST(MetisIo, TruncatedFileRejected) {
+  std::stringstream ss("4 3\n2\n1\n");
+  EXPECT_THROW(read_metis(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adaqp

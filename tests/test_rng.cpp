@@ -1,0 +1,140 @@
+// Tests for the deterministic PRNG (common/rng.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace adaqp {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto x0 = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), x0);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  // Child and parent should not track each other.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == child.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformFloatInUnitInterval) {
+  Rng rng(10);
+  for (int i = 0; i < 20000; ++i) {
+    const float u = rng.uniform_float();
+    ASSERT_GE(u, 0.0f);
+    ASSERT_LT(u, 1.0f);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformIntOne) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(14);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PowerLawWithinRange) {
+  Rng rng(16);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = rng.power_law(2.5, 100);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 100u);
+  }
+}
+
+TEST(Rng, PowerLawIsHeavyTailed) {
+  Rng rng(17);
+  // A power law with gamma=2.0 over [1,1000] should produce some large
+  // values but mostly small ones.
+  int small = 0, large = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = rng.power_law(2.0, 1000);
+    if (k <= 2) ++small;
+    if (k >= 100) ++large;
+  }
+  EXPECT_GT(small, 10000);  // majority near the head
+  EXPECT_GT(large, 10);     // tail is populated
+}
+
+TEST(Splitmix, Deterministic) {
+  std::uint64_t s1 = 99, s2 = 99;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace adaqp

@@ -1,0 +1,212 @@
+// End-to-end training behaviour: convergence, method comparisons, timing
+// accounting. These are the integration tests over the whole stack.
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+
+namespace adaqp {
+namespace {
+
+DatasetSpec small_spec(bool multi_label = false) {
+  DatasetSpec spec;
+  spec.name = multi_label ? "small_multi" : "small_single";
+  spec.num_nodes = 900;
+  spec.avg_degree = 10.0;
+  spec.feature_dim = 16;
+  spec.num_classes = 6;
+  spec.multi_label = multi_label;
+  spec.intra_prob = 0.8;
+  return spec;
+}
+
+RunResult train(const Dataset& ds, Method method, Aggregator agg, int epochs,
+                int devices = 4, float dropout = 0.3f,
+                std::uint64_t seed = 21) {
+  Rng rng(4242);
+  const auto part =
+      MultilevelPartitioner().partition(ds.graph, devices, rng);
+  const DistGraph dist = build_dist_graph(ds.graph, part);
+  const ClusterSpec cluster = ClusterSpec::machines(2, devices / 2);
+  ModelConfig mc;
+  mc.aggregator = agg;
+  mc.in_dim = ds.spec.feature_dim;
+  mc.hidden_dim = 24;
+  mc.out_dim = ds.num_classes();
+  mc.num_layers = 3;
+  mc.dropout = dropout;
+  TrainOptions opts;
+  opts.method = method;
+  opts.epochs = epochs;
+  opts.seed = seed;
+  opts.reassign_period = 10;
+  DistTrainer trainer(ds, dist, cluster, mc, opts);
+  return trainer.run();
+}
+
+class ConvergenceTest : public ::testing::TestWithParam<Aggregator> {};
+
+TEST_P(ConvergenceTest, VanillaLearnsTheSbmTask) {
+  Rng rng(1);
+  const Dataset ds = make_dataset(small_spec(), rng);
+  const RunResult r = train(ds, Method::kVanilla, GetParam(), 40);
+  EXPECT_GT(r.final_val_acc, 0.80) << "model failed to learn";
+  EXPECT_LT(r.epochs.back().train_loss, r.epochs.front().train_loss * 0.5)
+      << "loss did not decrease";
+}
+
+TEST_P(ConvergenceTest, AdaQPMatchesVanillaAccuracy) {
+  // Paper Table 4: AdaQP accuracy within a few tenths of a percent of
+  // Vanilla. At our scale we allow a slightly wider band.
+  Rng rng(2);
+  const Dataset ds = make_dataset(small_spec(), rng);
+  const RunResult vanilla = train(ds, Method::kVanilla, GetParam(), 40);
+  const RunResult adaqp = train(ds, Method::kAdaQP, GetParam(), 40);
+  EXPECT_NEAR(adaqp.final_val_acc, vanilla.final_val_acc, 0.035);
+}
+
+TEST_P(ConvergenceTest, AdaQPFasterThanVanilla) {
+  Rng rng(3);
+  const Dataset ds = make_dataset(small_spec(), rng);
+  const RunResult vanilla = train(ds, Method::kVanilla, GetParam(), 15);
+  const RunResult adaqp = train(ds, Method::kAdaQP, GetParam(), 15);
+  EXPECT_GT(adaqp.throughput, vanilla.throughput * 1.2)
+      << "AdaQP should beat Vanilla's simulated throughput";
+  EXPECT_LT(adaqp.total_comm_bytes, vanilla.total_comm_bytes / 2)
+      << "quantization should at least halve traffic";
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ConvergenceTest,
+                         ::testing::Values(Aggregator::kGcn,
+                                           Aggregator::kSageMean));
+
+TEST(MultiLabelTraining, LearnsAndReportsMicroF1) {
+  Rng rng(4);
+  const Dataset ds = make_dataset(small_spec(/*multi_label=*/true), rng);
+  const RunResult r = train(ds, Method::kVanilla, Aggregator::kGcn, 40);
+  EXPECT_GT(r.final_val_acc, 0.5);  // micro-F1 on the synthetic task
+}
+
+TEST(StalenessBaselines, RunAndStayFinite) {
+  Rng rng(5);
+  const Dataset ds = make_dataset(small_spec(), rng);
+  for (Method m : {Method::kPipeGCN, Method::kSancus}) {
+    const RunResult r = train(ds, m, Aggregator::kGcn, 25);
+    for (const auto& e : r.epochs)
+      ASSERT_TRUE(std::isfinite(e.train_loss)) << method_name(m);
+    EXPECT_GT(r.final_val_acc, 0.4) << method_name(m);
+  }
+}
+
+TEST(StalenessBaselines, PipeGcnHidesCommunication) {
+  // PipeGCN overlaps communication with computation, so its epoch must be
+  // shorter than Vanilla's comm+comp sum.
+  Rng rng(6);
+  const Dataset ds = make_dataset(small_spec(), rng);
+  const RunResult vanilla = train(ds, Method::kVanilla, Aggregator::kGcn, 12);
+  const RunResult pipe = train(ds, Method::kPipeGCN, Aggregator::kGcn, 12);
+  EXPECT_LT(pipe.avg_epoch_seconds, vanilla.avg_epoch_seconds);
+}
+
+TEST(StalenessBaselines, SancusSkipsBroadcasts) {
+  // With broadcast skipping, SANCUS must move fewer bytes than Vanilla.
+  Rng rng(7);
+  const Dataset ds = make_dataset(small_spec(), rng);
+  const RunResult vanilla = train(ds, Method::kVanilla, Aggregator::kGcn, 20);
+  const RunResult sancus = train(ds, Method::kSancus, Aggregator::kGcn, 20);
+  EXPECT_LT(sancus.total_comm_bytes, vanilla.total_comm_bytes);
+}
+
+TEST(UniformQuantBaseline, RunsWithRandomWidths) {
+  Rng rng(8);
+  const Dataset ds = make_dataset(small_spec(), rng);
+  const RunResult r = train(ds, Method::kAdaQPUniform, Aggregator::kGcn, 25);
+  EXPECT_GT(r.final_val_acc, 0.6);
+  EXPECT_EQ(r.assign_seconds, 0.0);  // no solver in the uniform scheme
+}
+
+TEST(Timing, BreakdownComponentsArePopulated) {
+  Rng rng(9);
+  const Dataset ds = make_dataset(small_spec(), rng);
+  const RunResult vanilla = train(ds, Method::kVanilla, Aggregator::kGcn, 5);
+  EXPECT_GT(vanilla.avg_breakdown.comm, 0.0);
+  EXPECT_GT(vanilla.avg_breakdown.comp, 0.0);
+  EXPECT_EQ(vanilla.avg_breakdown.quant, 0.0);
+  EXPECT_GE(vanilla.avg_breakdown.total,
+            vanilla.avg_breakdown.comm);  // no overlap in Vanilla
+
+  const RunResult adaqp = train(ds, Method::kAdaQP, Aggregator::kGcn, 5);
+  EXPECT_GT(adaqp.avg_breakdown.quant, 0.0);
+  EXPECT_GT(adaqp.assign_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(adaqp.wall_clock_seconds,
+                   adaqp.train_seconds + adaqp.assign_seconds);
+}
+
+TEST(Timing, CommCostFractionInPaperRegime) {
+  // Table 1's premise: communication dominates vanilla full-graph training.
+  Rng rng(10);
+  const Dataset ds = make_dataset(small_spec(), rng);
+  const RunResult r = train(ds, Method::kVanilla, Aggregator::kGcn, 5);
+  const double frac = r.avg_breakdown.comm / r.avg_epoch_seconds;
+  EXPECT_GT(frac, 0.5);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST(Trainer, PairBytesMatrixExposed) {
+  Rng rng(11);
+  const Dataset ds = make_dataset(small_spec(), rng);
+  Rng prng(12);
+  const auto part = MultilevelPartitioner().partition(ds.graph, 4, prng);
+  const DistGraph dist = build_dist_graph(ds.graph, part);
+  const ClusterSpec cluster = ClusterSpec::machines(2, 2);
+  ModelConfig mc;
+  mc.aggregator = Aggregator::kGcn;
+  mc.in_dim = ds.spec.feature_dim;
+  mc.hidden_dim = 16;
+  mc.out_dim = ds.num_classes();
+  TrainOptions opts;
+  opts.method = Method::kVanilla;
+  opts.epochs = 1;
+  DistTrainer trainer(ds, dist, cluster, mc, opts);
+  trainer.train_epoch();
+  const auto& bytes = trainer.last_layer1_pair_bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& row : bytes)
+    for (std::size_t b : row) total += b;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Trainer, MethodNames) {
+  EXPECT_EQ(method_name(Method::kVanilla), "Vanilla");
+  EXPECT_EQ(method_name(Method::kAdaQP), "AdaQP");
+  EXPECT_EQ(method_name(Method::kAdaQPUniform), "AdaQP-Uniform");
+  EXPECT_EQ(method_name(Method::kPipeGCN), "PipeGCN-like");
+  EXPECT_EQ(method_name(Method::kSancus), "SANCUS-like");
+}
+
+TEST(Trainer, SingleDeviceDegenerateCase) {
+  Rng rng(13);
+  DatasetSpec spec = small_spec();
+  spec.num_nodes = 250;
+  const Dataset ds = make_dataset(spec, rng);
+  PartitionResult part;
+  part.num_parts = 1;
+  part.part_of.assign(ds.num_nodes(), 0);
+  const DistGraph dist = build_dist_graph(ds.graph, part);
+  const ClusterSpec cluster = ClusterSpec::machines(1, 1);
+  ModelConfig mc;
+  mc.aggregator = Aggregator::kGcn;
+  mc.in_dim = ds.spec.feature_dim;
+  mc.hidden_dim = 16;
+  mc.out_dim = ds.num_classes();
+  TrainOptions opts;
+  opts.method = Method::kAdaQP;  // no peers: must degrade gracefully
+  opts.epochs = 3;
+  DistTrainer trainer(ds, dist, cluster, mc, opts);
+  const RunResult r = trainer.run();
+  EXPECT_EQ(r.total_comm_bytes, 0u);
+  for (const auto& e : r.epochs) EXPECT_TRUE(std::isfinite(e.train_loss));
+}
+
+}  // namespace
+}  // namespace adaqp
