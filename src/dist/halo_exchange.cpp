@@ -1,0 +1,215 @@
+#include "dist/halo_exchange.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "quant/message_codec.h"
+#include "quant/quantize.h"
+
+namespace adaqp {
+
+namespace {
+
+ExchangePlan make_uniform_plan(const DistGraph& dist, int bit_width,
+                               bool forward) {
+  ADAQP_CHECK_MSG(is_valid_bit_width(bit_width),
+                  "bit-width " << bit_width << " not in {2,4,8,32}");
+  const int n = dist.num_devices();
+  ExchangePlan plan;
+  plan.bits.resize(n);
+  for (int d = 0; d < n; ++d) {
+    const DeviceGraph& dev = dist.devices[d];
+    plan.bits[d].resize(n);
+    for (int p = 0; p < n; ++p) {
+      const auto& list = forward ? dev.send_local[p] : dev.recv_local[p];
+      plan.bits[d][p].assign(list.size(), bit_width);
+    }
+  }
+  return plan;
+}
+
+void check_plan_shape(const DistGraph& dist, const ExchangePlan& plan,
+                      bool forward) {
+  const int n = dist.num_devices();
+  ADAQP_CHECK_MSG(static_cast<int>(plan.bits.size()) == n,
+                  "plan device arity mismatch");
+  for (int d = 0; d < n; ++d) {
+    ADAQP_CHECK(static_cast<int>(plan.bits[d].size()) == n);
+    for (int p = 0; p < n; ++p) {
+      const auto& list = forward ? dist.devices[d].send_local[p]
+                                 : dist.devices[d].recv_local[p];
+      ADAQP_CHECK_MSG(plan.bits[d][p].size() == list.size(),
+                      "plan bits[" << d << "][" << p << "] arity "
+                                   << plan.bits[d][p].size() << " != "
+                                   << list.size());
+    }
+  }
+}
+
+ExchangeStats make_stats(int n) {
+  ExchangeStats stats;
+  stats.pair_bytes.assign(n, std::vector<std::size_t>(n, 0));
+  stats.quant_seconds.assign(n, 0.0);
+  stats.dequant_seconds.assign(n, 0.0);
+  return stats;
+}
+
+/// Full-precision bytes of the messages actually quantized (bits < 32);
+/// 32-bit passthrough costs no kernel time.
+std::size_t quantized_fp_bytes(std::span<const int> bits, std::size_t dim) {
+  std::size_t rows = 0;
+  for (int b : bits)
+    if (b != 32) ++rows;
+  return rows * dim * sizeof(float);
+}
+
+void finalize_comm_time(const DistGraph& dist, const ClusterSpec& cluster,
+                        ExchangeStats& stats) {
+  const int n = dist.num_devices();
+  if (n > 1)
+    stats.comm_seconds =
+        RingAllToAll(n).total_seconds(cluster, stats.pair_bytes);
+}
+
+}  // namespace
+
+ExchangePlan ExchangePlan::uniform_forward(const DistGraph& dist,
+                                           int bit_width) {
+  return make_uniform_plan(dist, bit_width, /*forward=*/true);
+}
+
+ExchangePlan ExchangePlan::uniform_backward(const DistGraph& dist,
+                                            int bit_width) {
+  return make_uniform_plan(dist, bit_width, /*forward=*/false);
+}
+
+std::size_t ExchangeStats::total_bytes() const {
+  std::size_t acc = 0;
+  for (const auto& row : pair_bytes)
+    for (std::size_t b : row) acc += b;
+  return acc;
+}
+
+double ExchangeStats::max_quant_seconds() const {
+  return quant_seconds.empty()
+             ? 0.0
+             : *std::max_element(quant_seconds.begin(), quant_seconds.end());
+}
+
+double ExchangeStats::max_dequant_seconds() const {
+  return dequant_seconds.empty()
+             ? 0.0
+             : *std::max_element(dequant_seconds.begin(),
+                                 dequant_seconds.end());
+}
+
+ExchangeStats exchange_halo_forward(const DistGraph& dist,
+                                    std::vector<Matrix>& locals,
+                                    const ExchangePlan& plan,
+                                    const ClusterSpec& cluster,
+                                    std::vector<Rng>& rngs) {
+  const int n = dist.num_devices();
+  ADAQP_CHECK(static_cast<int>(locals.size()) == n);
+  ADAQP_CHECK(static_cast<int>(rngs.size()) == n);
+  ADAQP_CHECK(cluster.num_devices() == n);
+  check_plan_shape(dist, plan, /*forward=*/true);
+
+  ExchangeStats stats = make_stats(n);
+  for (int d = 0; d < n; ++d) {
+    const DeviceGraph& dev = dist.devices[d];
+    ADAQP_CHECK(locals[d].rows() == dev.num_local());
+    for (int p = 0; p < n; ++p) {
+      if (p == d || dev.send_local[p].empty()) continue;
+      const auto& bits = plan.bits[d][p];
+      const EncodedBlock block =
+          encode_rows(locals[d], dev.send_local[p], bits, rngs[d]);
+      stats.pair_bytes[d][p] = block.wire_bytes();
+      const std::size_t fp = quantized_fp_bytes(bits, locals[d].cols());
+      stats.quant_seconds[d] += cluster.quant_seconds(fp);
+      stats.dequant_seconds[p] += cluster.quant_seconds(fp);
+      decode_rows(block, locals[p], dist.devices[p].recv_local[d]);
+    }
+  }
+  finalize_comm_time(dist, cluster, stats);
+  return stats;
+}
+
+ExchangeStats exchange_halo_backward(const DistGraph& dist,
+                                     std::vector<Matrix>& grads,
+                                     const ExchangePlan& plan,
+                                     const ClusterSpec& cluster,
+                                     std::vector<Rng>& rngs) {
+  const int n = dist.num_devices();
+  ADAQP_CHECK(static_cast<int>(grads.size()) == n);
+  ADAQP_CHECK(static_cast<int>(rngs.size()) == n);
+  ADAQP_CHECK(cluster.num_devices() == n);
+  check_plan_shape(dist, plan, /*forward=*/false);
+
+  ExchangeStats stats = make_stats(n);
+  // Senders read only halo rows and owners accumulate only into owned rows,
+  // so the transfers can run in any order; halo rows are cleared afterwards.
+  for (int d = 0; d < n; ++d) {
+    const DeviceGraph& dev = dist.devices[d];
+    ADAQP_CHECK(grads[d].rows() == dev.num_local());
+    for (int p = 0; p < n; ++p) {
+      if (p == d || dev.recv_local[p].empty()) continue;
+      const auto& bits = plan.bits[d][p];
+      const EncodedBlock block =
+          encode_rows(grads[d], dev.recv_local[p], bits, rngs[d]);
+      stats.pair_bytes[d][p] = block.wire_bytes();
+      const std::size_t fp = quantized_fp_bytes(bits, grads[d].cols());
+      stats.quant_seconds[d] += cluster.quant_seconds(fp);
+      stats.dequant_seconds[p] += cluster.quant_seconds(fp);
+
+      const auto& owner_rows = dist.devices[p].send_local[d];
+      Matrix decoded(owner_rows.size(), grads[p].cols());
+      std::vector<NodeId> seq(owner_rows.size());
+      for (std::size_t i = 0; i < seq.size(); ++i)
+        seq[i] = static_cast<NodeId>(i);
+      decode_rows(block, decoded, seq);
+      for (std::size_t i = 0; i < owner_rows.size(); ++i) {
+        auto dst = grads[p].row(owner_rows[i]);
+        const auto src = decoded.row(i);
+        for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
+      }
+    }
+  }
+  for (int d = 0; d < n; ++d) {
+    const DeviceGraph& dev = dist.devices[d];
+    for (std::size_t h = dev.num_owned; h < dev.num_local(); ++h) {
+      auto row = grads[d].row(h);
+      std::fill(row.begin(), row.end(), 0.0f);
+    }
+  }
+  finalize_comm_time(dist, cluster, stats);
+  return stats;
+}
+
+double allreduce_sum(std::vector<Matrix>& per_device,
+                     const ClusterSpec& cluster) {
+  const int n = static_cast<int>(per_device.size());
+  ADAQP_CHECK(n >= 1 && cluster.num_devices() == n);
+  if (n == 1) return 0.0;
+
+  Matrix sum = per_device[0];
+  for (int d = 1; d < n; ++d) {
+    ADAQP_CHECK(per_device[d].same_shape(sum));
+    sum.add_inplace(per_device[d]);
+  }
+  for (auto& m : per_device) m = sum;
+
+  // Ring allreduce: 2(n-1) rounds of bytes/n chunks, straggler-paced by the
+  // slowest ring link.
+  const std::size_t bytes = sum.size() * sizeof(float);
+  double worst_theta = 0.0, worst_gamma = 0.0;
+  for (int d = 0; d < n; ++d) {
+    const LinkParams l = cluster.link(d, (d + 1) % n);
+    worst_theta = std::max(worst_theta, l.theta);
+    worst_gamma = std::max(worst_gamma, l.gamma);
+  }
+  const double chunk = static_cast<double>(bytes) / n;
+  return 2.0 * (n - 1) * (worst_theta * chunk + worst_gamma);
+}
+
+}  // namespace adaqp

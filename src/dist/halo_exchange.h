@@ -1,0 +1,77 @@
+// Quantized boundary exchange over the simulated cluster.
+//
+// The forward exchange ships every device's boundary (send-map) rows to the
+// peers that mirror them as halo; the backward exchange ships halo-row
+// gradient contributions back to their owners, accumulates them there, and
+// zeroes the halo rows (they were consumed). Both directions push every
+// message through the real wire codec (quant/message_codec) at the
+// per-message bit-widths of an ExchangePlan, so numerics are bit-exact with
+// what a physical cluster would compute, while *time* is accounted by the
+// ClusterSpec cost model under the paper's ring all2all schedule (Fig. 8).
+#pragma once
+
+#include <vector>
+
+#include "comm/cluster.h"
+#include "dist/dist_graph.h"
+
+namespace adaqp {
+
+class Rng;
+
+/// Per-message bit-width choices for one exchange of one layer/direction.
+/// Forward plans align bits[d][p] with devices[d].send_local[p]; backward
+/// plans align bits[d][p] with devices[d].recv_local[p] (the halo rows d
+/// sends back to owner p). Entries are in {2, 4, 8, 32}.
+struct ExchangePlan {
+  std::vector<std::vector<std::vector<int>>> bits;
+
+  /// Every forward message at one width. Throws std::runtime_error unless
+  /// `bit_width` is in {2, 4, 8, 32}.
+  static ExchangePlan uniform_forward(const DistGraph& dist, int bit_width);
+  /// Every backward message at one width.
+  static ExchangePlan uniform_backward(const DistGraph& dist, int bit_width);
+};
+
+/// Traffic and time accounting of one exchange.
+struct ExchangeStats {
+  /// Wire bytes device d sent to device p (codec output size).
+  std::vector<std::vector<std::size_t>> pair_bytes;
+  /// Straggler-synchronized ring-all2all time for pair_bytes.
+  double comm_seconds = 0.0;
+  /// Per-device quantize / de-quantize kernel time (zero for 32-bit
+  /// passthrough messages).
+  std::vector<double> quant_seconds;
+  std::vector<double> dequant_seconds;
+
+  std::size_t total_bytes() const;
+  double max_quant_seconds() const;
+  double max_dequant_seconds() const;
+};
+
+/// Forward halo exchange: for every pair (d, p), encode the send-map rows of
+/// locals[d] at plan.bits[d][p] and decode them into the aligned halo rows
+/// of locals[p]. Owned rows are never written.
+ExchangeStats exchange_halo_forward(const DistGraph& dist,
+                                    std::vector<Matrix>& locals,
+                                    const ExchangePlan& plan,
+                                    const ClusterSpec& cluster,
+                                    std::vector<Rng>& rngs);
+
+/// Backward halo exchange: for every pair (d, p), encode the halo rows
+/// grads[d][recv_local[p]] at plan.bits[d][p] and *accumulate* them into the
+/// owner's rows grads[p][send_local[d]]; afterwards every halo row is zeroed
+/// (its contribution has been shipped).
+ExchangeStats exchange_halo_backward(const DistGraph& dist,
+                                     std::vector<Matrix>& grads,
+                                     const ExchangePlan& plan,
+                                     const ClusterSpec& cluster,
+                                     std::vector<Rng>& rngs);
+
+/// Ring allreduce over same-shaped per-device matrices: every matrix is
+/// replaced by the elementwise sum. Returns the simulated time (0 for a
+/// single device); numerics are exact (no quantization on model gradients).
+double allreduce_sum(std::vector<Matrix>& per_device,
+                     const ClusterSpec& cluster);
+
+}  // namespace adaqp
