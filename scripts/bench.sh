@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Perf trajectory tracker: runs bench_table4_main and bench_table7_scalability
+# and emits machine-readable BENCH_runtime.json — per-run wall seconds and
+# thread count plus the per-method throughput (epochs/s) rows parsed from the
+# benches' CSV output. bench_table7_scalability is swept over THREAD_COUNTS
+# so the multi-thread speedup of the runtime is recorded from this PR on.
+#
+# Env knobs:
+#   BUILD_DIR          build directory (default: build)
+#   OUT                output JSON path (default: BENCH_runtime.json)
+#   THREAD_COUNTS      sweep for table7 (default: "1 4 8")
+#   BENCH_TABLE4_FULL  set to 1 for the full table4 sweep (default: --quick)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${OUT:-BENCH_runtime.json}
+THREAD_COUNTS=${THREAD_COUNTS:-"1 4 8"}
+TABLE4_ARGS=()
+[[ "${BENCH_TABLE4_FULL:-0}" == "1" ]] || TABLE4_ARGS+=("--quick")
+
+if [[ ! -x "$BUILD_DIR/bench_table4_main" ||
+      ! -x "$BUILD_DIR/bench_table7_scalability" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j \
+    --target bench_table4_main bench_table7_scalability >/dev/null
+fi
+
+mkdir -p bench/out
+
+# Seconds (fractional) since epoch.
+now() { date +%s.%N; }
+
+# csv_rows <csv> <dataset_col> <method_col> <throughput_col>
+# Emits comma-joined JSON objects {"dataset","method","epochs_per_s"}.
+csv_rows() {
+  awk -F',' -v dc="$2" -v mc="$3" -v tc="$4" 'NR > 1 && NF >= tc {
+    printf "%s{\"dataset\":\"%s\",\"method\":\"%s\",\"epochs_per_s\":%s}",
+           sep, $dc, $mc, $tc; sep=","
+  }' "$1"
+}
+
+entries=""
+append_entry() { entries="${entries:+$entries,}$1"; }
+
+# run_bench <name> <threads> <csv> <dataset_col> <method_col> <tp_col> [args...]
+# Appends a JSON entry and leaves the wall seconds in $wall.
+run_bench() {
+  local name=$1 threads=$2 csv=$3 dc=$4 mc=$5 tc=$6
+  shift 6
+  echo "[bench.sh] $name (ADAQP_THREADS=$threads) ..." >&2
+  local t0 t1
+  t0=$(now)
+  ADAQP_THREADS=$threads "./$BUILD_DIR/$name" "$@" >/dev/null 2>&1
+  t1=$(now)
+  wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
+  append_entry "{\"bench\":\"$name\",\"threads\":$threads,\"wall_seconds\":$wall,\"results\":[$(csv_rows "bench/out/$csv" "$dc" "$mc" "$tc")]}"
+}
+
+declare -A table7_wall
+for t in $THREAD_COUNTS; do
+  run_bench bench_table7_scalability "$t" table7_scalability.csv 1 2 3
+  table7_wall[$t]=$wall
+done
+
+run_bench bench_table4_main "$(nproc)" table4_main.csv 1 4 6 \
+  "${TABLE4_ARGS[@]}"
+
+speedups=""
+base=${table7_wall[1]:-}
+if [[ -n "$base" ]]; then
+  for t in $THREAD_COUNTS; do
+    [[ "$t" == "1" ]] && continue
+    s=$(awk -v a="$base" -v b="${table7_wall[$t]}" \
+        'BEGIN { printf "%.2f", a / b }')
+    speedups="${speedups:+$speedups,}\"x$t\":$s"
+    echo "[bench.sh] table7 speedup at $t threads: ${s}x" >&2
+  done
+fi
+
+cat > "$OUT" <<EOF
+{
+  "schema": "adaqp-bench-v1",
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host_hardware_threads": $(nproc),
+  "table7_wall_speedup_vs_1_thread": {${speedups}},
+  "entries": [${entries}]
+}
+EOF
+echo "[bench.sh] wrote $OUT" >&2

@@ -7,6 +7,7 @@
 #include "core/timing.h"
 #include "gnn/loss.h"
 #include "quant/message_codec.h"
+#include "runtime/parallel_for.h"
 
 namespace adaqp {
 
@@ -139,6 +140,11 @@ DistTrainer::DistTrainer(const Dataset& dataset, const DistGraph& dist,
   }
 }
 
+void DistTrainer::run_device_tasks(const std::function<void(int)>& fn) const {
+  parallel_for_each(static_cast<std::size_t>(num_devices_),
+                    [&fn](std::size_t d) { fn(static_cast<int>(d)); });
+}
+
 double DistTrainer::compute_seconds(int layer, bool backward,
                                     bool central_only, int device) const {
   const DeviceGraph& dev = dist_.devices[device];
@@ -244,7 +250,9 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
     }
     case Method::kSancus: {
       // Broadcast-skipping: each device broadcasts its boundary rows only
-      // when they drifted enough or staleness hit the cap.
+      // when they drifted enough or staleness hit the cap. Deliberately
+      // serial — sequential broadcasts are the inefficiency being modeled,
+      // and later senders read rows earlier broadcasts may have refreshed.
       std::vector<std::vector<std::size_t>> pair_bytes(
           num_devices_, std::vector<std::size_t>(num_devices_, 0));
       double comm = 0.0;
@@ -435,9 +443,13 @@ EpochBreakdown DistTrainer::forward_pass(bool training, double* loss_out) {
   EpochBreakdown total;
   for (int l = 0; l < num_layers_; ++l) {
     EpochBreakdown stage = forward_exchange(l);
-    for (int d = 0; d < num_devices_; ++d)
+    // Each simulated device's layer compute is one task on the pool: it
+    // touches only its own activations, cache and Rng stream, so devices
+    // run concurrently with bit-identical results at any thread count.
+    run_device_tasks([&](int d) {
       model_.layer(l).forward(dist_.devices[d], acts_[l][d], acts_[l + 1][d],
                               caches_[l][d], device_rngs_[d], training);
+    });
     if (opts_.method == Method::kPipeGCN && pipegcn_warm_) {
       // Deferred exchange: ship the (already-consumed) inputs so next
       // epoch's halos are one-epoch stale; comm hides inside this layer's
@@ -454,19 +466,23 @@ EpochBreakdown DistTrainer::forward_pass(bool training, double* loss_out) {
   }
 
   if (loss_out) {
-    double loss = 0.0;
-    for (int d = 0; d < num_devices_; ++d) {
-      // Loss value only (gradient handled in backward_pass).
+    // Loss values only (gradients handled in backward_pass); per-device
+    // terms computed concurrently, reduced in ascending device order.
+    std::vector<double> device_loss(num_devices_, 0.0);
+    run_device_tasks([&](int d) {
       Matrix dummy(acts_[num_layers_][d].rows(), acts_[num_layers_][d].cols());
       if (!dataset_.spec.multi_label) {
-        loss += softmax_cross_entropy(acts_[num_layers_][d], train_rows_[d],
-                                      train_labels_[d], global_train_count_,
-                                      dummy);
+        device_loss[d] = softmax_cross_entropy(
+            acts_[num_layers_][d], train_rows_[d], train_labels_[d],
+            global_train_count_, dummy);
       } else {
-        loss += bce_with_logits(acts_[num_layers_][d], train_rows_[d],
-                                train_targets_[d], global_train_count_, dummy);
+        device_loss[d] =
+            bce_with_logits(acts_[num_layers_][d], train_rows_[d],
+                            train_targets_[d], global_train_count_, dummy);
       }
-    }
+    });
+    double loss = 0.0;
+    for (int d = 0; d < num_devices_; ++d) loss += device_loss[d];
     *loss_out = loss / global_train_count_;
   }
   return total;
@@ -475,10 +491,9 @@ EpochBreakdown DistTrainer::forward_pass(bool training, double* loss_out) {
 EpochBreakdown DistTrainer::backward_pass() {
   EpochBreakdown total;
 
-  // Loss gradients wrt logits.
-  std::vector<Matrix> grads;
-  grads.reserve(num_devices_);
-  for (int d = 0; d < num_devices_; ++d) {
+  // Loss gradients wrt logits — one device task each (disjoint outputs).
+  std::vector<Matrix> grads(num_devices_);
+  run_device_tasks([&](int d) {
     Matrix g(acts_[num_layers_][d].rows(), acts_[num_layers_][d].cols());
     if (!dataset_.spec.multi_label) {
       softmax_cross_entropy(acts_[num_layers_][d], train_rows_[d],
@@ -487,14 +502,22 @@ EpochBreakdown DistTrainer::backward_pass() {
       bce_with_logits(acts_[num_layers_][d], train_rows_[d], train_targets_[d],
                       global_train_count_, g);
     }
-    grads.push_back(std::move(g));
-  }
+    grads[d] = std::move(g);
+  });
 
   for (int l = num_layers_ - 1; l >= 0; --l) {
+    // Per-device backward runs concurrently into per-device gradient sinks;
+    // the shared parameter gradients are then reduced in ascending device
+    // order so the epoch is deterministic at any thread count.
     std::vector<Matrix> grad_x(num_devices_);
+    std::vector<LayerGrads> sinks(num_devices_);
+    const GnnLayer& layer = model_.layer(l);
+    run_device_tasks([&](int d) {
+      layer.backward(dist_.devices[d], grads[d], caches_[l][d], grad_x[d],
+                     sinks[d]);
+    });
     for (int d = 0; d < num_devices_; ++d)
-      model_.layer(l).backward(dist_.devices[d], grads[d], caches_[l][d],
-                               grad_x[d]);
+      model_.layer(l).apply_grads(sinks[d]);
     EpochBreakdown stage;
     const double comp_all = max_compute_seconds(l, true, false);
     if (l > 0) {
@@ -609,9 +632,10 @@ std::pair<double, double> DistTrainer::evaluate() {
     next.reserve(num_devices_);
     for (int d = 0; d < num_devices_; ++d)
       next.emplace_back(dist_.devices[d].num_local(), model_.layer_out_dim(l));
-    for (int d = 0; d < num_devices_; ++d)
+    run_device_tasks([&](int d) {
       model_.layer(l).forward(dist_.devices[d], x[d], next[d], scratch[d],
                               device_rngs_[d], /*training=*/false);
+    });
     x = std::move(next);
   }
   const Matrix logits =

@@ -19,8 +19,15 @@
 //   kSancus       — staleness-aware broadcast skipping with sequential
 //                   (non-ring) broadcast cost and dropped remote gradients
 //                   on skipped epochs (SANCUS-like baseline).
+//
+// Execution: every per-device compute stage (layer forward/backward, loss,
+// evaluation) runs as one task per simulated device on the runtime thread
+// pool (src/runtime/), and shared parameter gradients are reduced in
+// ascending device order — so a run is bit-identical at any ADAQP_THREADS
+// setting (tests/test_runtime.cpp enforces this).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -124,8 +131,9 @@ class DistTrainer {
   void refresh_plans();
   EpochBreakdown forward_pass(bool training, double* loss_out);
   EpochBreakdown backward_pass();
-  void exchange_stats_to_breakdown(const ExchangeStats& stats, bool overlap,
-                                   double central_comp, EpochBreakdown& out);
+
+  /// Run fn(d) for every device as one task group on the runtime pool.
+  void run_device_tasks(const std::function<void(int)>& fn) const;
 
   // Per-method forward halo handling for layer input index `l` (the input
   // matrices acts_[l]); returns stage time contributions.

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "quant/message_codec.h"
 #include "quant/quantize.h"
+#include "runtime/parallel_for.h"
 
 namespace adaqp {
 
@@ -72,6 +73,23 @@ void finalize_comm_time(const DistGraph& dist, const ClusterSpec& cluster,
         RingAllToAll(n).total_seconds(cluster, stats.pair_bytes);
 }
 
+/// Fold per-pair full-precision byte counts into per-device quantize /
+/// de-quantize kernel times. Runs serially after the parallel encode so the
+/// receiver-indexed dequant accumulation stays in a fixed (d, p) order.
+void accumulate_kernel_times(
+    const ClusterSpec& cluster,
+    const std::vector<std::vector<std::size_t>>& fp_bytes,
+    ExchangeStats& stats) {
+  const int n = static_cast<int>(fp_bytes.size());
+  for (int d = 0; d < n; ++d)
+    for (int p = 0; p < n; ++p) {
+      if (fp_bytes[d][p] == 0) continue;
+      const double t = cluster.quant_seconds(fp_bytes[d][p]);
+      stats.quant_seconds[d] += t;
+      stats.dequant_seconds[p] += t;
+    }
+}
+
 }  // namespace
 
 ExchangePlan ExchangePlan::uniform_forward(const DistGraph& dist,
@@ -116,7 +134,14 @@ ExchangeStats exchange_halo_forward(const DistGraph& dist,
   check_plan_shape(dist, plan, /*forward=*/true);
 
   ExchangeStats stats = make_stats(n);
-  for (int d = 0; d < n; ++d) {
+  std::vector<std::vector<std::size_t>> fp_bytes(
+      n, std::vector<std::size_t>(n, 0));
+  // One task per sender: encodes read only the sender's owned rows (with its
+  // private Rng, advanced in the same p-ascending order as a serial sweep)
+  // and decodes write only the halo rows each receiver dedicates to that
+  // sender — all writes are disjoint, so any interleaving is bit-identical.
+  parallel_for_each(static_cast<std::size_t>(n), [&](std::size_t di) {
+    const int d = static_cast<int>(di);
     const DeviceGraph& dev = dist.devices[d];
     ADAQP_CHECK(locals[d].rows() == dev.num_local());
     for (int p = 0; p < n; ++p) {
@@ -125,12 +150,11 @@ ExchangeStats exchange_halo_forward(const DistGraph& dist,
       const EncodedBlock block =
           encode_rows(locals[d], dev.send_local[p], bits, rngs[d]);
       stats.pair_bytes[d][p] = block.wire_bytes();
-      const std::size_t fp = quantized_fp_bytes(bits, locals[d].cols());
-      stats.quant_seconds[d] += cluster.quant_seconds(fp);
-      stats.dequant_seconds[p] += cluster.quant_seconds(fp);
+      fp_bytes[d][p] = quantized_fp_bytes(bits, locals[d].cols());
       decode_rows(block, locals[p], dist.devices[p].recv_local[d]);
     }
-  }
+  });
+  accumulate_kernel_times(cluster, fp_bytes, stats);
   finalize_comm_time(dist, cluster, stats);
   return stats;
 }
@@ -147,41 +171,56 @@ ExchangeStats exchange_halo_backward(const DistGraph& dist,
   check_plan_shape(dist, plan, /*forward=*/false);
 
   ExchangeStats stats = make_stats(n);
-  // Senders read only halo rows and owners accumulate only into owned rows,
-  // so the transfers can run in any order; halo rows are cleared afterwards.
-  for (int d = 0; d < n; ++d) {
+  std::vector<std::vector<std::size_t>> fp_bytes(
+      n, std::vector<std::size_t>(n, 0));
+  // Two phases so the accumulation into each owner stays deterministic.
+  //
+  // Phase 1 — per-sender encode: reads only the sender's halo rows (owners
+  // accumulate only into owned rows, so there is no read/write overlap) with
+  // its private Rng advanced in the serial p-ascending order.
+  std::vector<std::vector<EncodedBlock>> blocks(n,
+                                                std::vector<EncodedBlock>(n));
+  parallel_for_each(static_cast<std::size_t>(n), [&](std::size_t di) {
+    const int d = static_cast<int>(di);
     const DeviceGraph& dev = dist.devices[d];
     ADAQP_CHECK(grads[d].rows() == dev.num_local());
     for (int p = 0; p < n; ++p) {
       if (p == d || dev.recv_local[p].empty()) continue;
       const auto& bits = plan.bits[d][p];
-      const EncodedBlock block =
-          encode_rows(grads[d], dev.recv_local[p], bits, rngs[d]);
-      stats.pair_bytes[d][p] = block.wire_bytes();
-      const std::size_t fp = quantized_fp_bytes(bits, grads[d].cols());
-      stats.quant_seconds[d] += cluster.quant_seconds(fp);
-      stats.dequant_seconds[p] += cluster.quant_seconds(fp);
-
+      blocks[d][p] = encode_rows(grads[d], dev.recv_local[p], bits, rngs[d]);
+      stats.pair_bytes[d][p] = blocks[d][p].wire_bytes();
+      fp_bytes[d][p] = quantized_fp_bytes(bits, grads[d].cols());
+    }
+  });
+  // Phase 2 — per-destination decode/accumulate: task p owns grads[p]
+  // outright and folds in senders in ascending order, the exact accumulation
+  // order of a serial d-outer sweep.
+  parallel_for_each(static_cast<std::size_t>(n), [&](std::size_t pi) {
+    const int p = static_cast<int>(pi);
+    for (int d = 0; d < n; ++d) {
+      if (d == p || blocks[d][p].bytes.empty()) continue;
       const auto& owner_rows = dist.devices[p].send_local[d];
       Matrix decoded(owner_rows.size(), grads[p].cols());
       std::vector<NodeId> seq(owner_rows.size());
       for (std::size_t i = 0; i < seq.size(); ++i)
         seq[i] = static_cast<NodeId>(i);
-      decode_rows(block, decoded, seq);
+      decode_rows(blocks[d][p], decoded, seq);
       for (std::size_t i = 0; i < owner_rows.size(); ++i) {
         auto dst = grads[p].row(owner_rows[i]);
         const auto src = decoded.row(i);
         for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
       }
     }
-  }
-  for (int d = 0; d < n; ++d) {
-    const DeviceGraph& dev = dist.devices[d];
+  });
+  // Shipped halo gradients are cleared on every device (disjoint rows).
+  parallel_for_each(static_cast<std::size_t>(n), [&](std::size_t di) {
+    const DeviceGraph& dev = dist.devices[di];
     for (std::size_t h = dev.num_owned; h < dev.num_local(); ++h) {
-      auto row = grads[d].row(h);
+      auto row = grads[di].row(h);
       std::fill(row.begin(), row.end(), 0.0f);
     }
-  }
+  });
+  accumulate_kernel_times(cluster, fp_bytes, stats);
   finalize_comm_time(dist, cluster, stats);
   return stats;
 }

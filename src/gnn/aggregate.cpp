@@ -3,8 +3,13 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "runtime/parallel_for.h"
 
 namespace adaqp {
+
+namespace {
+constexpr std::size_t kRowGrain = 32;  ///< min rows per parallel band
+}  // namespace
 
 double aggregation_coefficient(Aggregator agg, std::uint32_t deg_u,
                                std::uint32_t deg_v) {
@@ -37,20 +42,25 @@ void aggregate_forward(const DeviceGraph& dev, Aggregator agg, const Matrix& x,
   ADAQP_CHECK(x.rows() == dev.num_local());
   ADAQP_CHECK(out.rows() >= dev.num_owned && out.cols() == x.cols());
   const std::size_t dim = x.cols();
-  for (NodeId v : rows) {
-    ADAQP_CHECK(v < dev.num_owned);
-    auto dst = out.row(v);
-    const auto self_c =
-        static_cast<float>(self_coefficient(agg, dev.global_degree[v]));
-    const auto src_self = x.row(v);
-    for (std::size_t c = 0; c < dim; ++c) dst[c] = self_c * src_self[c];
-    for (NodeId u : dev.neighbors(v)) {
-      const auto coeff = static_cast<float>(aggregation_coefficient(
-          agg, dev.global_degree[u], dev.global_degree[v]));
-      const auto src = x.row(u);
-      for (std::size_t c = 0; c < dim; ++c) dst[c] += coeff * src[c];
+  // Each destination row is owned by exactly one index of `rows`, so bands
+  // write disjoint rows and any thread count is bit-identical to serial.
+  parallel_for(rows.size(), kRowGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t idx = b; idx < e; ++idx) {
+      const NodeId v = rows[idx];
+      ADAQP_CHECK(v < dev.num_owned);
+      auto dst = out.row(v);
+      const auto self_c =
+          static_cast<float>(self_coefficient(agg, dev.global_degree[v]));
+      const auto src_self = x.row(v);
+      for (std::size_t c = 0; c < dim; ++c) dst[c] = self_c * src_self[c];
+      for (NodeId u : dev.neighbors(v)) {
+        const auto coeff = static_cast<float>(aggregation_coefficient(
+            agg, dev.global_degree[u], dev.global_degree[v]));
+        const auto src = x.row(u);
+        for (std::size_t c = 0; c < dim; ++c) dst[c] += coeff * src[c];
+      }
     }
-  }
+  });
 }
 
 void aggregate_forward(const DeviceGraph& dev, Aggregator agg, const Matrix& x,
@@ -86,9 +96,47 @@ void aggregate_backward(const DeviceGraph& dev, Aggregator agg,
 
 void aggregate_backward(const DeviceGraph& dev, Aggregator agg,
                         const Matrix& grad_out, Matrix& grad_x) {
-  std::vector<NodeId> all(dev.num_owned);
-  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<NodeId>(i);
-  aggregate_backward(dev, agg, grad_out, all, grad_x);
+  if (!dev.has_transpose()) {
+    // Hand-built DeviceGraphs without a transpose CSR fall back to the
+    // serial scatter kernel.
+    std::vector<NodeId> all(dev.num_owned);
+    for (std::size_t i = 0; i < all.size(); ++i)
+      all[i] = static_cast<NodeId>(i);
+    aggregate_backward(dev, agg, grad_out, all, grad_x);
+    return;
+  }
+  ADAQP_CHECK(grad_x.rows() == dev.num_local());
+  ADAQP_CHECK(grad_x.cols() == grad_out.cols());
+  ADAQP_CHECK(grad_out.rows() >= dev.num_owned);
+  const std::size_t dim = grad_out.cols();
+  // Gather form over the transpose CSR: destination rows are disjoint across
+  // bands, and each destination accumulates its sources in ascending order
+  // with the self term inserted at source == destination — exactly the
+  // per-element addition order of the scatter kernel above, so the result is
+  // bit-identical to serial execution at any thread count.
+  parallel_for(dev.num_local(), kRowGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t ui = b; ui < e; ++ui) {
+      const NodeId u = static_cast<NodeId>(ui);
+      auto dst = grad_x.row(u);
+      const bool owned = ui < dev.num_owned;
+      bool self_applied = !owned;
+      const auto apply_self = [&] {
+        const auto self_c =
+            static_cast<float>(self_coefficient(agg, dev.global_degree[u]));
+        const auto g = grad_out.row(u);
+        for (std::size_t c = 0; c < dim; ++c) dst[c] += self_c * g[c];
+        self_applied = true;
+      };
+      for (NodeId v : dev.in_neighbors(u)) {
+        if (!self_applied && v >= u) apply_self();
+        const auto coeff = static_cast<float>(aggregation_coefficient(
+            agg, dev.global_degree[u], dev.global_degree[v]));
+        const auto g = grad_out.row(v);
+        for (std::size_t c = 0; c < dim; ++c) dst[c] += coeff * g[c];
+      }
+      if (!self_applied) apply_self();
+    }
+  });
 }
 
 double aggregate_flops(const DeviceGraph& dev, std::span<const NodeId> rows,

@@ -42,11 +42,16 @@ void aggregate_forward(const DeviceGraph& dev, Aggregator agg, const Matrix& x,
                        Matrix& out);
 
 /// Adjoint: grad_x (num_local x dim) += Aᵀ · grad_out for the owned rows in
-/// `rows` of grad_out. grad_x must be pre-sized (num_local x dim).
+/// `rows` of grad_out. grad_x must be pre-sized (num_local x dim). Serial
+/// scatter kernel (destination rows of different sources overlap).
 void aggregate_backward(const DeviceGraph& dev, Aggregator agg,
                         const Matrix& grad_out, std::span<const NodeId> rows,
                         Matrix& grad_x);
 
+/// Full adjoint over all owned rows of grad_out. Runs the gather form over
+/// the device's transpose CSR, parallelized over destination rows with
+/// per-destination source order identical to the scatter kernel — so the
+/// result is bit-identical to the serial scatter at any thread count.
 void aggregate_backward(const DeviceGraph& dev, Aggregator agg,
                         const Matrix& grad_out, Matrix& grad_x);
 

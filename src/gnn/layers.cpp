@@ -44,9 +44,17 @@ void LayerNorm::forward(const Matrix& in, Matrix& out, Cache& cache) const {
 
 void LayerNorm::backward(const Matrix& grad_out, const Cache& cache,
                          Matrix& grad_in) {
+  backward(grad_out, cache, grad_in, gamma.grad, beta.grad);
+}
+
+void LayerNorm::backward(const Matrix& grad_out, const Cache& cache,
+                         Matrix& grad_in, Matrix& dgamma,
+                         Matrix& dbeta) const {
   const std::size_t rows = grad_out.rows(), dim = grad_out.cols();
   ADAQP_CHECK(cache.normalized.same_shape(grad_out));
   if (!grad_in.same_shape(grad_out)) grad_in = Matrix(rows, dim);
+  if (dgamma.rows() != 1 || dgamma.cols() != dim) dgamma = Matrix(1, dim);
+  if (dbeta.rows() != 1 || dbeta.cols() != dim) dbeta = Matrix(1, dim);
   for (std::size_t r = 0; r < rows; ++r) {
     const auto dy = grad_out.row(r);
     const auto xh = cache.normalized.row(r);
@@ -54,8 +62,8 @@ void LayerNorm::backward(const Matrix& grad_out, const Cache& cache,
     // dγ += Σ_r dy⊙x̂ ; dβ += Σ_r dy
     double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
     for (std::size_t c = 0; c < dim; ++c) {
-      gamma.grad.data()[c] += dy[c] * xh[c];
-      beta.grad.data()[c] += dy[c];
+      dgamma.data()[c] += dy[c] * xh[c];
+      dbeta.data()[c] += dy[c];
       const double dxh = static_cast<double>(dy[c]) * gamma.value.data()[c];
       mean_dxhat += dxh;
       mean_dxhat_xhat += dxh * xh[c];
@@ -148,8 +156,25 @@ void GnnLayer::forward(const DeviceGraph& dev, const Matrix& x_local,
 
 void GnnLayer::backward(const DeviceGraph& dev, const Matrix& grad_out,
                         const LayerCache& cache, Matrix& grad_x) {
+  LayerGrads sink;
+  backward(dev, grad_out, cache, grad_x, sink);
+  apply_grads(sink);
+}
+
+void GnnLayer::apply_grads(const LayerGrads& sink) {
+  if (!sink.weight.empty()) weight_.grad.add_inplace(sink.weight);
+  if (!sink.weight_self.empty())
+    weight_self_.grad.add_inplace(sink.weight_self);
+  if (!sink.gamma.empty()) norm_.gamma.grad.add_inplace(sink.gamma);
+  if (!sink.beta.empty()) norm_.beta.grad.add_inplace(sink.beta);
+}
+
+void GnnLayer::backward(const DeviceGraph& dev, const Matrix& grad_out,
+                        const LayerCache& cache, Matrix& grad_x,
+                        LayerGrads& sink) const {
   ADAQP_CHECK(grad_out.rows() >= dev.num_owned);
   ADAQP_CHECK(grad_out.cols() == config_.out_dim);
+  sink = LayerGrads{};
 
   // Owned-row slice of the incoming gradient.
   Matrix dh(dev.num_owned, config_.out_dim);
@@ -165,7 +190,7 @@ void GnnLayer::backward(const DeviceGraph& dev, const Matrix& grad_out,
     Matrix dpre_act;
     relu_backward(cache.pre_act, dpost_act, dpre_act);
     if (config_.layer_norm) {
-      norm_.backward(dpre_act, cache.ln, dpre_norm);
+      norm_.backward(dpre_act, cache.ln, dpre_norm, sink.gamma, sink.beta);
     } else {
       dpre_norm = std::move(dpre_act);
     }
@@ -176,9 +201,7 @@ void GnnLayer::backward(const DeviceGraph& dev, const Matrix& grad_out,
   // Dense transform backward.
   Matrix dagg;  // grad wrt aggregated input (num_owned x in_dim)
   if (config_.aggregator != Aggregator::kSageMean) {
-    Matrix dw;
-    gemm_tn(cache.agg, dpre_norm, dw);
-    weight_.grad.add_inplace(dw);
+    gemm_tn(cache.agg, dpre_norm, sink.weight);
     gemm_nt(dpre_norm, weight_.value, dagg);
     if (grad_x.rows() != dev.num_local() || grad_x.cols() != config_.in_dim)
       grad_x = Matrix(dev.num_local(), config_.in_dim);
@@ -188,12 +211,8 @@ void GnnLayer::backward(const DeviceGraph& dev, const Matrix& grad_out,
   } else {
     // Neighbor path: cache.mean_nbr, weight_; self path: cache.agg (owned
     // input rows), weight_self_.
-    Matrix dw;
-    gemm_tn(cache.mean_nbr, dpre_norm, dw);
-    weight_.grad.add_inplace(dw);
-    Matrix dw_self;
-    gemm_tn(cache.agg, dpre_norm, dw_self);
-    weight_self_.grad.add_inplace(dw_self);
+    gemm_tn(cache.mean_nbr, dpre_norm, sink.weight);
+    gemm_tn(cache.agg, dpre_norm, sink.weight_self);
 
     gemm_nt(dpre_norm, weight_.value, dagg);
     if (grad_x.rows() != dev.num_local() || grad_x.cols() != config_.in_dim)

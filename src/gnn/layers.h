@@ -49,6 +49,11 @@ struct LayerNorm {
   void forward(const Matrix& in, Matrix& out, Cache& cache) const;
   /// Accumulates into gamma.grad / beta.grad; writes grad_in.
   void backward(const Matrix& grad_out, const Cache& cache, Matrix& grad_in);
+  /// Thread-safe variant: accumulates into caller-owned dgamma / dbeta
+  /// (resized to 1 x dim and zeroed when mis-shaped) instead of the shared
+  /// parameter gradients.
+  void backward(const Matrix& grad_out, const Cache& cache, Matrix& grad_in,
+                Matrix& dgamma, Matrix& dbeta) const;
 };
 
 struct LayerConfig {
@@ -58,6 +63,18 @@ struct LayerConfig {
   bool is_output = false;   ///< output layer: no norm/activation/dropout
   bool layer_norm = true;
   float dropout = 0.5f;
+};
+
+/// Per-device parameter-gradient contributions of one backward call. The
+/// runtime refactor computes these concurrently (one sink per simulated
+/// device) and GnnLayer::apply_grads folds them into the shared Param
+/// gradients in ascending device order, keeping the reduction deterministic
+/// at any thread count. Empty matrices mean "no contribution".
+struct LayerGrads {
+  Matrix weight;       // dW (neighbor path for SAGE)
+  Matrix weight_self;  // SAGE only: dW_self
+  Matrix gamma;        // LayerNorm dγ (1 x out_dim)
+  Matrix beta;         // LayerNorm dβ (1 x out_dim)
 };
 
 /// Per-device forward cache (inputs and intermediates needed by backward).
@@ -87,9 +104,21 @@ class GnnLayer {
 
   /// Backward from grad of owned output rows; accumulates weight grads and
   /// writes grad wrt the layer input for *all* local rows into grad_x
-  /// (num_local x in_dim, overwritten).
+  /// (num_local x in_dim, overwritten). Serial convenience form: equivalent
+  /// to the sink overload followed by apply_grads.
   void backward(const DeviceGraph& dev, const Matrix& grad_out,
                 const LayerCache& cache, Matrix& grad_x);
+
+  /// Thread-safe backward: writes this device's parameter-gradient
+  /// contributions into `sink` (overwritten) instead of the shared Param
+  /// gradients, so per-device backward passes can run concurrently. Callers
+  /// must fold sinks with apply_grads in a fixed device order afterwards.
+  void backward(const DeviceGraph& dev, const Matrix& grad_out,
+                const LayerCache& cache, Matrix& grad_x,
+                LayerGrads& sink) const;
+
+  /// Fold one device's contributions into the shared parameter gradients.
+  void apply_grads(const LayerGrads& sink);
 
   /// All trainable parameters (for Adam / allreduce).
   std::vector<Param*> params();

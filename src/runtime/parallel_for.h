@@ -1,0 +1,85 @@
+// Data-parallel loop and task-group primitives on top of the thread pool.
+//
+// parallel_for splits an index range into at most num_threads() contiguous
+// chunks. Chunk boundaries are a pure function of (n, grain, thread count),
+// and every kernel built on it keeps per-element arithmetic independent of
+// the banding (disjoint writes, fixed per-element accumulation order), so
+// results are bit-identical for every thread count. Nested regions run
+// inline on the calling worker.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace adaqp {
+
+/// Run body(begin, end) over a static partition of [0, n) with at least
+/// `grain` indices per chunk. body must treat each index independently.
+template <typename Body>
+void parallel_for(std::size_t n, std::size_t grain, Body&& body) {
+  if (n == 0) return;
+  if (ThreadPool::in_worker()) {  // nested region: inline, skip pool lookup
+    body(static_cast<std::size_t>(0), n);
+    return;
+  }
+  if (grain == 0) grain = 1;
+  ThreadPool& pool = global_pool();
+  const std::size_t max_chunks = static_cast<std::size_t>(pool.num_threads());
+  const std::size_t chunks = std::min(max_chunks, (n + grain - 1) / grain);
+  if (chunks <= 1) {
+    body(static_cast<std::size_t>(0), n);
+    return;
+  }
+  const std::size_t base = n / chunks, rem = n % chunks;
+  const std::function<void(std::size_t)> task = [&](std::size_t c) {
+    const std::size_t begin = c * base + std::min(c, rem);
+    const std::size_t end = begin + base + (c < rem ? 1 : 0);
+    body(begin, end);
+  };
+  pool.run(chunks, task);
+}
+
+/// Run body(i) as one pool task per index — the per-device task form used by
+/// the trainer and the halo-exchange phases.
+template <typename Body>
+void parallel_for_each(std::size_t n, Body&& body) {
+  if (n == 0) return;
+  if (n == 1 || ThreadPool::in_worker()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool& pool = global_pool();
+  if (pool.num_threads() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::function<void(std::size_t)> task = [&](std::size_t i) {
+    body(i);
+  };
+  pool.run(n, task);
+}
+
+/// A batch of heterogeneous tasks (typically one per simulated device)
+/// executed together on the global pool.
+class TaskGroup {
+ public:
+  void add(std::function<void()> fn) { tasks_.push_back(std::move(fn)); }
+  std::size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+
+  /// Run every added task (blocking), then clear the group for reuse.
+  void run_and_clear() {
+    parallel_for_each(tasks_.size(), [this](std::size_t i) { tasks_[i](); });
+    tasks_.clear();
+  }
+
+ private:
+  std::vector<std::function<void()>> tasks_;
+};
+
+}  // namespace adaqp

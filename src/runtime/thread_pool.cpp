@@ -1,0 +1,183 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adaqp {
+
+namespace {
+
+thread_local bool t_in_pool_task = false;
+
+/// RAII marker so nested parallel regions collapse to inline execution on
+/// both workers and the participating caller thread.
+struct InTaskScope {
+  bool prev;
+  InTaskScope() : prev(t_in_pool_task) { t_in_pool_task = true; }
+  ~InTaskScope() { t_in_pool_task = prev; }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  /// One submitted parallel region. Workers hold it by shared_ptr, so a
+  /// worker that wakes late (after the batch completed and a new one was
+  /// submitted) still claims tickets from *its* batch — the counter is
+  /// exhausted, so it runs nothing — and can never touch a later batch's
+  /// tickets or a destroyed task function. The task pointer stays valid
+  /// for the batch's lifetime because run() returns only once every
+  /// claimed ticket has been executed and counted (remaining == 0).
+  struct Batch {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t total = 0;
+    std::atomic<std::size_t> next_ticket{0};
+    std::size_t remaining = 0;  ///< unfinished tasks; guarded by Impl::mu
+    std::exception_ptr error;   ///< first task exception; guarded by Impl::mu
+  };
+
+  std::mutex mu;
+  std::condition_variable cv_work;  ///< workers wait here for a new batch
+  std::condition_variable cv_done;  ///< callers wait here for completion
+
+  std::shared_ptr<Batch> batch;  ///< most recently submitted batch
+  std::uint64_t epoch = 0;       ///< bumped per submission (wake filter)
+  bool stop = false;
+
+  std::vector<std::thread> workers;
+
+  /// Claim and run tasks until the batch's ticket counter runs dry; account
+  /// the finished count and wake the caller when the batch completes.
+  void work_on_batch(Batch& b) {
+    InTaskScope scope;
+    std::size_t done_here = 0;
+    for (;;) {
+      const std::size_t i =
+          b.next_ticket.fetch_add(1, std::memory_order_relaxed);
+      if (i >= b.total) break;
+      try {
+        (*b.task)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!b.error) b.error = std::current_exception();
+      }
+      ++done_here;
+    }
+    if (done_here > 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      b.remaining -= done_here;
+      if (b.remaining == 0) cv_done.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      std::shared_ptr<Batch> b;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv_work.wait(lk, [&] { return stop || epoch != seen_epoch; });
+        if (stop) return;
+        seen_epoch = epoch;
+        b = batch;
+      }
+      if (b) work_on_batch(*b);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : impl_(new Impl), num_threads_(num_threads < 1 ? 1 : num_threads) {
+  impl_->workers.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t)
+    impl_->workers.emplace_back([im = impl_] { im->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+bool ThreadPool::in_worker() { return t_in_pool_task; }
+
+void ThreadPool::run(std::size_t num_tasks,
+                     const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (num_threads_ <= 1 || num_tasks == 1 || in_worker()) {
+    // Inline path: exceptions propagate directly; a nested call never
+    // touches the pool state, so outer batches are unaffected.
+    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  Impl* im = impl_;
+  auto batch = std::make_shared<Impl::Batch>();
+  batch->task = &task;
+  batch->total = num_tasks;
+  batch->remaining = num_tasks;
+  {
+    std::lock_guard<std::mutex> lk(im->mu);
+    im->batch = batch;
+    ++im->epoch;
+  }
+  im->cv_work.notify_all();
+  im->work_on_batch(*batch);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(im->mu);
+    im->cv_done.wait(lk, [&] { return batch->remaining == 0; });
+    error = batch->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::atomic<ThreadPool*> g_pool_fast{nullptr};  ///< lock-free lookup path
+
+}  // namespace
+
+int configured_threads() {
+  if (const char* env = std::getenv("ADAQP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    // A parseable value is clamped to [1, 256]; unparseable text falls
+    // through to the hardware default.
+    if (end != env) return static_cast<int>(v < 1 ? 1 : (v > 256 ? 256 : v));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& global_pool() {
+  if (ThreadPool* p = g_pool_fast.load(std::memory_order_acquire)) return *p;
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(configured_threads());
+    g_pool_fast.store(g_pool.get(), std::memory_order_release);
+  }
+  return *g_pool;
+}
+
+int num_threads() { return global_pool().num_threads(); }
+
+void set_num_threads(int n) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool_fast.store(nullptr, std::memory_order_release);
+  g_pool.reset();  // joins the old workers before the new pool exists
+  g_pool = std::make_unique<ThreadPool>(n < 1 ? 1 : n);
+  g_pool_fast.store(g_pool.get(), std::memory_order_release);
+}
+
+}  // namespace adaqp

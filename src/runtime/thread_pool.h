@@ -1,0 +1,68 @@
+// Deterministic task-parallel execution engine for the simulated cluster.
+//
+// The pool is deliberately work-stealing-free: a parallel region is a fixed
+// batch of independent tasks claimed from a shared ticket counter, so the
+// only scheduling freedom is *which thread* runs a task, never *what* a task
+// computes. Every parallel decomposition in the library is designed so that
+// task boundaries cannot change results (disjoint writes, per-element
+// accumulation order fixed by the loop nest, per-device RNG streams), which
+// makes multi-threaded runs bit-identical to ADAQP_THREADS=1 runs by
+// construction — the invariant tests/test_runtime.cpp enforces.
+//
+// Thread count resolution: the ADAQP_THREADS environment variable if set
+// (clamped to [1, 256]), otherwise std::thread::hardware_concurrency().
+// Tests and tools can override at runtime with set_num_threads().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace adaqp {
+
+class ThreadPool {
+ public:
+  /// Spawns num_threads - 1 workers; the calling thread participates in
+  /// every parallel region, so num_threads == 1 spawns nothing.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs task(i) exactly once for every i in [0, num_tasks), blocking until
+  /// all complete. Tasks are claimed via an atomic ticket counter (no
+  /// stealing, no re-execution). Calls from inside a pool task run the whole
+  /// batch inline on the calling thread — nested parallelism collapses to
+  /// serial instead of deadlocking. The first exception thrown by any task
+  /// is rethrown on the calling thread after the batch finishes.
+  void run(std::size_t num_tasks,
+           const std::function<void(std::size_t)>& task);
+
+  /// True when the calling thread is currently executing a pool task (used
+  /// to collapse nested parallel regions).
+  static bool in_worker();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+  int num_threads_ = 1;
+};
+
+/// The process-wide pool, created lazily with configured_threads().
+ThreadPool& global_pool();
+
+/// Thread count of the global pool.
+int num_threads();
+
+/// Replace the global pool with an n-thread one (n clamped to >= 1). Must
+/// not be called while parallel work is in flight; intended for tests,
+/// benches and tools that sweep thread counts within one process.
+void set_num_threads(int n);
+
+/// Thread count requested by the environment: ADAQP_THREADS when set and
+/// valid, otherwise hardware concurrency (always >= 1).
+int configured_threads();
+
+}  // namespace adaqp

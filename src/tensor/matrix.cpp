@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "runtime/parallel_for.h"
 
 namespace adaqp {
 
@@ -68,25 +69,44 @@ void Matrix::scale_inplace(float alpha) {
   for (auto& v : data_) v *= alpha;
 }
 
-// GEMM kernels use an ikj loop order so the inner loop streams contiguous
-// rows of B and C; adequate for the matrix sizes in this library without
-// pulling in a BLAS dependency.
+// GEMM kernels are cache-blocked over (j, k) tiles and parallelized over
+// row bands of C on the runtime's thread pool. Every element C[i][j]
+// accumulates its k products in ascending-k order regardless of tile and
+// band boundaries, so results are bit-identical for every thread count (and
+// to the previous unblocked ikj kernels). Adequate for the matrix sizes in
+// this library without pulling in a BLAS dependency.
+namespace {
+
+constexpr std::size_t kRowGrain = 8;    ///< min C rows per parallel band
+constexpr std::size_t kBlockK = 128;    ///< shared-dim tile
+constexpr std::size_t kBlockN = 512;    ///< output-column tile
+
+}  // namespace
+
 void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   ADAQP_CHECK_MSG(a.cols() == b.rows(), "gemm: inner dims " << a.cols()
                                                             << " vs " << b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
   else c.set_zero();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  parallel_for(m, kRowGrain, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t jj = 0; jj < n; jj += kBlockN) {
+      const std::size_t jhi = std::min(jj + kBlockN, n);
+      for (std::size_t pp = 0; pp < k; pp += kBlockK) {
+        const std::size_t phi = std::min(pp + kBlockK, k);
+        for (std::size_t i = r0; i < r1; ++i) {
+          const float* arow = a.data() + i * k;
+          float* crow = c.data() + i * n;
+          for (std::size_t p = pp; p < phi; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            const float* brow = b.data() + p * n;
+            for (std::size_t j = jj; j < jhi; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
     }
-  }
+  });
 }
 
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
@@ -95,16 +115,24 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
   else c.set_zero();
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = a.data() + p * m;
-    const float* brow = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t jj = 0; jj < n; jj += kBlockN) {
+      const std::size_t jhi = std::min(jj + kBlockN, n);
+      for (std::size_t pp = 0; pp < k; pp += kBlockK) {
+        const std::size_t phi = std::min(pp + kBlockK, k);
+        for (std::size_t p = pp; p < phi; ++p) {
+          const float* arow = a.data() + p * m;
+          const float* brow = b.data() + p * n;
+          for (std::size_t i = i0; i < i1; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f) continue;
+            float* crow = c.data() + i * n;
+            for (std::size_t j = jj; j < jhi; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
     }
-  }
+  });
 }
 
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
@@ -113,16 +141,24 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
   else c.set_zero();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
+  parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t jj = 0; jj < n; jj += kBlockN) {
+      const std::size_t jhi = std::min(jj + kBlockN, n);
+      for (std::size_t pp = 0; pp < k; pp += kBlockK) {
+        const std::size_t phi = std::min(pp + kBlockK, k);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* arow = a.data() + i * k;
+          float* crow = c.data() + i * n;
+          for (std::size_t j = jj; j < jhi; ++j) {
+            const float* brow = b.data() + j * k;
+            float acc = crow[j];
+            for (std::size_t p = pp; p < phi; ++p) acc += arow[p] * brow[p];
+            crow[j] = acc;
+          }
+        }
+      }
     }
-  }
+  });
 }
 
 void relu_forward(const Matrix& in, Matrix& out) {

@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
+
 namespace adaqp {
 
 class Rng;
@@ -32,8 +34,16 @@ class Matrix {
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
-  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
-  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  // at() bounds-checks in NDEBUG-off builds; release builds keep the raw
+  // indexed access (the GEMM/aggregation hot paths go through data()/row()).
+  float& at(std::size_t r, std::size_t c) {
+    check_indices(r, c);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    check_indices(r, c);
+    return data_[r * cols_ + c];
+  }
 
   /// Mutable / const view of row r.
   std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
@@ -68,6 +78,15 @@ class Matrix {
   }
 
  private:
+  void check_indices([[maybe_unused]] std::size_t r,
+                     [[maybe_unused]] std::size_t c) const {
+#ifndef NDEBUG
+    ADAQP_CHECK_MSG(r < rows_ && c < cols_,
+                    "Matrix::at(" << r << ", " << c << ") out of bounds for "
+                                  << rows_ << "x" << cols_);
+#endif
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<float> data_;

@@ -47,6 +47,17 @@ TEST(Matrix, ConstructFromDataValidatesSize) {
   EXPECT_THROW(Matrix(2, 2, {1, 2, 3}), std::runtime_error);
 }
 
+#ifndef NDEBUG
+TEST(Matrix, AtBoundsCheckedInDebugBuilds) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.at(2, 0), std::runtime_error);
+  EXPECT_THROW(m.at(0, 3), std::runtime_error);
+  const Matrix& cm = m;
+  EXPECT_THROW(cm.at(5, 5), std::runtime_error);
+  EXPECT_NO_THROW(m.at(1, 2));
+}
+#endif
+
 TEST(Matrix, RowSpanAliasesStorage) {
   Matrix m(2, 3);
   m.row(1)[2] = 5.0f;
