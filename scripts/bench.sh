@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# Perf trajectory tracker: runs bench_table4_main and bench_table7_scalability
-# and emits machine-readable BENCH_runtime.json — per-run wall seconds and
-# thread count plus the per-method throughput (epochs/s) rows parsed from the
-# benches' CSV output. bench_table7_scalability is swept over THREAD_COUNTS
-# so the multi-thread speedup of the runtime is recorded from this PR on.
+# Perf trajectory tracker: runs bench_table4_main, bench_table7_scalability
+# and bench_pipeline_overlap, and *appends* one run record to the
+# machine-readable BENCH_runtime.json (schema adaqp-bench-v2: {"runs": [...]},
+# so the perf trajectory across commits/hosts accumulates instead of being
+# overwritten). Every run records the host's hardware thread count — the
+# ROADMAP "re-record on multi-core" check is now just reading the file.
+# bench_table7_scalability is swept over THREAD_COUNTS so the multi-thread
+# speedup of the runtime is recorded; bench_pipeline_overlap records the
+# async pipeline's measured exchange||central overlap efficiency.
 #
 # Env knobs:
 #   BUILD_DIR          build directory (default: build)
 #   OUT                output JSON path (default: BENCH_runtime.json)
 #   THREAD_COUNTS      sweep for table7 (default: "1 4 8")
 #   BENCH_TABLE4_FULL  set to 1 for the full table4 sweep (default: --quick)
+#   BENCH_OVERLAP_FULL set to 1 for the full overlap bench (default: --quick)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,12 +23,16 @@ OUT=${OUT:-BENCH_runtime.json}
 THREAD_COUNTS=${THREAD_COUNTS:-"1 4 8"}
 TABLE4_ARGS=()
 [[ "${BENCH_TABLE4_FULL:-0}" == "1" ]] || TABLE4_ARGS+=("--quick")
+OVERLAP_ARGS=()
+[[ "${BENCH_OVERLAP_FULL:-0}" == "1" ]] || OVERLAP_ARGS+=("--quick")
 
 if [[ ! -x "$BUILD_DIR/bench_table4_main" ||
-      ! -x "$BUILD_DIR/bench_table7_scalability" ]]; then
+      ! -x "$BUILD_DIR/bench_table7_scalability" ||
+      ! -x "$BUILD_DIR/bench_pipeline_overlap" ]]; then
   cmake -B "$BUILD_DIR" -S . >/dev/null
   cmake --build "$BUILD_DIR" -j \
-    --target bench_table4_main bench_table7_scalability >/dev/null
+    --target bench_table4_main bench_table7_scalability \
+             bench_pipeline_overlap >/dev/null
 fi
 
 mkdir -p bench/out
@@ -38,6 +47,11 @@ csv_rows() {
     printf "%s{\"dataset\":\"%s\",\"method\":\"%s\",\"epochs_per_s\":%s}",
            sep, $dc, $mc, $tc; sep=","
   }' "$1"
+}
+
+# metric_value <csv> <metric-name>  — pull one Metric,Value row.
+metric_value() {
+  awk -F',' -v m="$2" 'NR > 1 && $1 == m { print $2; exit }' "$1"
 }
 
 entries=""
@@ -66,6 +80,16 @@ done
 run_bench bench_table4_main "$(nproc)" table4_main.csv 1 4 6 \
   "${TABLE4_ARGS[@]}"
 
+# Async pipeline overlap: measured exchange||central concurrency.
+echo "[bench.sh] bench_pipeline_overlap (ADAQP_THREADS=$(nproc)) ..." >&2
+t0=$(now)
+ADAQP_THREADS=$(nproc) "./$BUILD_DIR/bench_pipeline_overlap" \
+  "${OVERLAP_ARGS[@]}" >/dev/null 2>&1
+t1=$(now)
+overlap_wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
+ocsv=bench/out/pipeline_overlap.csv
+append_entry "{\"bench\":\"bench_pipeline_overlap\",\"threads\":$(nproc),\"wall_seconds\":$overlap_wall,\"overlap_efficiency\":$(metric_value "$ocsv" "measured overlap efficiency"),\"sync_over_async_speedup\":$(metric_value "$ocsv" "wall speedup sync/async")}"
+
 speedups=""
 base=${table7_wall[1]:-}
 if [[ -n "$base" ]]; then
@@ -78,13 +102,44 @@ if [[ -n "$base" ]]; then
   done
 fi
 
-cat > "$OUT" <<EOF
+# One run record; appended to OUT (never overwriting earlier runs).
+run_record=$(cat <<EOF
 {
-  "schema": "adaqp-bench-v1",
-  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "host_hardware_threads": $(nproc),
-  "table7_wall_speedup_vs_1_thread": {${speedups}},
-  "entries": [${entries}]
+ "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+ "host_hardware_threads": $(nproc),
+ "git_rev": "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)",
+ "table7_wall_speedup_vs_1_thread": {${speedups}},
+ "entries": [${entries}]
 }
 EOF
-echo "[bench.sh] wrote $OUT" >&2
+)
+
+if command -v python3 >/dev/null 2>&1; then
+  RUN_RECORD="$run_record" OUT_PATH="$OUT" python3 - <<'PY'
+import json, os
+
+run = json.loads(os.environ["RUN_RECORD"])
+out = os.environ["OUT_PATH"]
+doc = None
+if os.path.exists(out):
+    try:
+        with open(out) as f:
+            doc = json.load(f)
+    except Exception:
+        doc = None
+if not isinstance(doc, dict) or doc.get("schema") != "adaqp-bench-v2":
+    runs = []
+    if isinstance(doc, dict) and doc.get("schema") == "adaqp-bench-v1":
+        runs.append(doc)  # migrate the old single-run format as run #0
+    doc = {"schema": "adaqp-bench-v2", "runs": runs}
+doc["runs"].append(run)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print(f"[bench.sh] appended run #{len(doc['runs']) - 1} to {out}")
+PY
+else
+  # No python3: still emit valid v2 JSON, but only this run survives.
+  printf '{"schema":"adaqp-bench-v2","runs":[%s]}\n' "$run_record" > "$OUT"
+  echo "[bench.sh] python3 missing — wrote $OUT with this run only" >&2
+fi

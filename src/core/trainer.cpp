@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "common/check.h"
 #include "core/timing.h"
 #include "gnn/loss.h"
+#include "pipeline/async_exchange.h"
+#include "pipeline/config.h"
+#include "pipeline/stage_graph.h"
+#include "pipeline/trace.h"
 #include "quant/message_codec.h"
 #include "runtime/parallel_for.h"
 
@@ -61,6 +67,7 @@ DistTrainer::DistTrainer(const Dataset& dataset, const DistGraph& dist,
       adam_(opts.adam) {
   num_devices_ = dist_.num_devices();
   num_layers_ = model_.num_layers();
+  async_pipeline_ = pipeline::async_enabled();
   ADAQP_CHECK(cluster_.num_devices() == num_devices_);
   ADAQP_CHECK(model_config.in_dim == dataset.spec.feature_dim);
 
@@ -148,16 +155,9 @@ void DistTrainer::run_device_tasks(const std::function<void(int)>& fn) const {
 double DistTrainer::compute_seconds(int layer, bool backward,
                                     bool central_only, int device) const {
   const DeviceGraph& dev = dist_.devices[device];
-  std::span<const NodeId> rows;
-  std::vector<NodeId> all;
-  if (central_only) {
-    rows = dev.central_nodes;
-  } else {
-    all.resize(dev.num_owned);
-    for (std::size_t i = 0; i < all.size(); ++i)
-      all[i] = static_cast<NodeId>(i);
-    rows = all;
-  }
+  // Precomputed index views — no per-call row-vector builds.
+  const std::span<const NodeId> rows =
+      central_only ? dev.central_span() : dev.owned_span();
   const std::size_t in = model_.layer_in_dim(layer);
   const std::size_t out = model_.layer_out_dim(layer);
   return backward ? layer_backward_seconds(cluster_, dev, rows, in, out)
@@ -211,21 +211,11 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
       return bd;
     }
     case Method::kAdaQP:
-    case Method::kAdaQPUniform: {
-      const ExchangeStats stats = exchange_halo_forward(
-          dist_, acts_[l], fwd_plans_[l], cluster_, device_rngs_);
-      total_comm_bytes_ += stats.total_bytes();
-      if (l == 0) last_layer1_pair_bytes_ = stats.pair_bytes;
-      const double central = max_compute_seconds(l, false, true);
-      const double marginal = marginal_compute_seconds_max(l, false);
-      const double tq = stats.max_quant_seconds();
-      const double tdq = stats.max_dequant_seconds();
-      bd.comm = stats.comm_seconds;
-      bd.comp = marginal;  // central comp hides inside communication
-      bd.quant = tq + tdq;
-      bd.total = tq + std::max(stats.comm_seconds, central) + tdq + marginal;
+    case Method::kAdaQPUniform:
+      // Quantizing methods run exchange + compute as one fused stage graph;
+      // see adaqp_forward_layer (forward_pass never routes them here).
+      ADAQP_CHECK_MSG(false, "AdaQP forward goes through adaqp_forward_layer");
       return bd;
-    }
     case Method::kPipeGCN: {
       const double comp = max_compute_seconds(l, false, false);
       if (!pipegcn_warm_) {
@@ -258,14 +248,8 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
       double comm = 0.0;
       for (int d = 0; d < num_devices_; ++d) {
         const DeviceGraph& dev = dist_.devices[d];
-        // Collect this device's outgoing boundary rows.
-        std::vector<NodeId> boundary;
-        for (int p = 0; p < num_devices_; ++p)
-          boundary.insert(boundary.end(), dev.send_local[p].begin(),
-                          dev.send_local[p].end());
-        std::sort(boundary.begin(), boundary.end());
-        boundary.erase(std::unique(boundary.begin(), boundary.end()),
-                       boundary.end());
+        // This device's outgoing boundary rows (precomputed union view).
+        const std::span<const NodeId> boundary = dev.boundary_span();
         bool bcast = true;
         Matrix snapshot(boundary.size(), acts_[l][d].cols());
         for (std::size_t i = 0; i < boundary.size(); ++i) {
@@ -313,6 +297,84 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
   return bd;
 }
 
+EpochBreakdown DistTrainer::adaqp_forward_layer(int l, bool training) {
+  EpochBreakdown bd;
+  // Trace input ranges for the assigner (same point as the phased path:
+  // before any halo row of this layer's input is rewritten).
+  fwd_ranges_[l].resize(num_devices_);
+  for (int d = 0; d < num_devices_; ++d)
+    fwd_ranges_[l][d] = row_ranges_of(acts_[l][d]);
+
+  const GnnLayer& layer = model_.layer(l);
+  ExchangeStats stats;
+  if (!async_pipeline_) {
+    // Phased reference schedule: exchange every halo row, then the full
+    // per-device forward — the PR-2 execution shape.
+    stats = exchange_halo_forward(dist_, acts_[l], fwd_plans_[l], cluster_,
+                                  device_rngs_);
+    run_device_tasks([&](int d) {
+      layer.forward(dist_.devices[d], acts_[l][d], acts_[l + 1][d],
+                    caches_[l][d], device_rngs_[d], training);
+    });
+  } else {
+    // Fused stage graph: per-pair encode/wire/decode stages run concurrently
+    // with per-device central-row compute; each device's marginal rows wait
+    // on its inbound messages (and on its own prepare/central stage, which
+    // sizes the shared layer cache). Stage bodies write disjoint rows and
+    // use private RNG streams, so this schedule is bit-identical to the
+    // phased one at any thread count.
+    std::string prefix = "L";
+    prefix += std::to_string(l);
+    pipeline::StageGraph graph;
+    pipeline::ExchangeAccounting acct;
+    acct.init(num_devices_, device_rngs_);
+    const pipeline::PairStages pair = pipeline::add_forward_exchange_stages(
+        graph, dist_, acts_[l], fwd_plans_[l], acct);
+    std::vector<int> central(num_devices_, -1);
+    for (int d = 0; d < num_devices_; ++d) {
+      central[d] = graph.add(
+          prefix + "/central/d" + std::to_string(d),
+          [this, &layer, l, d, training] {
+            const DeviceGraph& dev = dist_.devices[d];
+            layer.forward_prepare(dev, caches_[l][d], device_rngs_[d],
+                                  training);
+            layer.forward_rows(dev, acts_[l][d], acts_[l + 1][d],
+                               caches_[l][d], dev.central_span());
+          });
+    }
+    for (int d = 0; d < num_devices_; ++d) {
+      const DeviceGraph& dev = dist_.devices[d];
+      std::vector<int> deps{central[d]};
+      for (int p : dev.halo_senders)
+        if (pair.stage[p][d] >= 0) deps.push_back(pair.stage[p][d]);
+      graph.add(
+          prefix + "/marginal/d" + std::to_string(d),
+          [this, &layer, l, d] {
+            const DeviceGraph& device = dist_.devices[d];
+            layer.forward_rows(device, acts_[l][d], acts_[l + 1][d],
+                               caches_[l][d], device.marginal_span());
+          },
+          deps);
+    }
+    graph.run(/*async=*/true);
+    stats = pipeline::finalize_exchange_stats(acct, dist_, cluster_);
+  }
+
+  total_comm_bytes_ += stats.total_bytes();
+  if (l == 0) last_layer1_pair_bytes_ = stats.pair_bytes;
+  // Modeled epoch time: central compute hides inside communication, the
+  // quantize / de-quantize kernels and marginal compute do not (Fig. 10a).
+  const double central_s = max_compute_seconds(l, false, true);
+  const double marginal_s = marginal_compute_seconds_max(l, false);
+  const double tq = stats.max_quant_seconds();
+  const double tdq = stats.max_dequant_seconds();
+  bd.comm = stats.comm_seconds;
+  bd.comp = marginal_s;
+  bd.quant = tq + tdq;
+  bd.total = tq + std::max(stats.comm_seconds, central_s) + tdq + marginal_s;
+  return bd;
+}
+
 EpochBreakdown DistTrainer::backward_exchange(int l,
                                               std::vector<Matrix>& grads) {
   EpochBreakdown bd;
@@ -332,20 +394,11 @@ EpochBreakdown DistTrainer::backward_exchange(int l,
       return bd;
     }
     case Method::kAdaQP:
-    case Method::kAdaQPUniform: {
-      const ExchangeStats stats = exchange_halo_backward(
-          dist_, grads, bwd_plans_[l], cluster_, device_rngs_);
-      total_comm_bytes_ += stats.total_bytes();
-      const double central = max_compute_seconds(l, true, true);
-      const double tq = stats.max_quant_seconds();
-      const double tdq = stats.max_dequant_seconds();
-      bd.comm = stats.comm_seconds;
-      bd.quant = tq + tdq;
-      // The preceding layer's central backward hides in this comm window;
-      // composition happens in backward_pass.
-      bd.total = tq + std::max(stats.comm_seconds, central) + tdq;
+    case Method::kAdaQPUniform:
+      // Quantizing methods overlap this exchange with the parameter-gradient
+      // folds directly in backward_pass.
+      ADAQP_CHECK_MSG(false, "AdaQP backward exchange handled in backward_pass");
       return bd;
-    }
     case Method::kPipeGCN: {
       // Stale gradient pipeline: remote contributions computed this epoch
       // are delivered next epoch; last epoch's arrive now.
@@ -441,7 +494,14 @@ EpochBreakdown DistTrainer::backward_exchange(int l,
 
 EpochBreakdown DistTrainer::forward_pass(bool training, double* loss_out) {
   EpochBreakdown total;
+  const bool quantizing = opts_.method == Method::kAdaQP ||
+                          opts_.method == Method::kAdaQPUniform;
   for (int l = 0; l < num_layers_; ++l) {
+    if (quantizing) {
+      // Fused exchange + compute through the pipeline scheduler.
+      total.accumulate(adaqp_forward_layer(l, training));
+      continue;
+    }
     EpochBreakdown stage = forward_exchange(l);
     // Each simulated device's layer compute is one task on the pool: it
     // touches only its own activations, cache and Rng stream, so devices
@@ -516,31 +576,66 @@ EpochBreakdown DistTrainer::backward_pass() {
       layer.backward(dist_.devices[d], grads[d], caches_[l][d], grad_x[d],
                      sinks[d]);
     });
-    for (int d = 0; d < num_devices_; ++d)
-      model_.layer(l).apply_grads(sinks[d]);
     EpochBreakdown stage;
     const double comp_all = max_compute_seconds(l, true, false);
-    if (l > 0) {
-      stage = backward_exchange(l, grad_x);
-      switch (opts_.method) {
-        case Method::kVanilla:
-        case Method::kSancus:
-          stage.comp = comp_all;
-          stage.total += comp_all;
-          break;
-        case Method::kAdaQP:
-        case Method::kAdaQPUniform:
-          stage.comp = marginal_compute_seconds_max(l, true);
-          stage.total += stage.comp;
-          break;
-        case Method::kPipeGCN:
-          stage.comp = comp_all;
-          stage.total = std::max(comp_all, stage.comm);
-          break;
+    const bool quantizing = opts_.method == Method::kAdaQP ||
+                            opts_.method == Method::kAdaQPUniform;
+    if (l > 0 && quantizing) {
+      // Trace gradient ranges for the assigner before any mutation.
+      bwd_ranges_[l].resize(num_devices_);
+      for (int d = 0; d < num_devices_; ++d)
+        bwd_ranges_[l][d] = row_ranges_of(grad_x[d]);
+      // Submit the halo-gradient exchange, fold the per-device parameter
+      // gradients while it is in flight (the folds touch only the shared
+      // Param store, the exchange only grad_x), then join. The sync escape
+      // hatch folds first and runs the phased exchange — bit-identical.
+      ExchangeStats stats;
+      if (async_pipeline_) {
+        pipeline::AsyncExchange exchange(dist_, cluster_);
+        exchange.submit_backward(grad_x, bwd_plans_[l], device_rngs_,
+                                 /*async=*/true);
+        for (int d = 0; d < num_devices_; ++d)
+          model_.layer(l).apply_grads(sinks[d]);
+        stats = exchange.wait();
+      } else {
+        for (int d = 0; d < num_devices_; ++d)
+          model_.layer(l).apply_grads(sinks[d]);
+        stats = exchange_halo_backward(dist_, grad_x, bwd_plans_[l], cluster_,
+                                       device_rngs_);
       }
+      total_comm_bytes_ += stats.total_bytes();
+      const double central = max_compute_seconds(l, true, true);
+      const double tq = stats.max_quant_seconds();
+      const double tdq = stats.max_dequant_seconds();
+      stage.comm = stats.comm_seconds;
+      stage.quant = tq + tdq;
+      // The preceding layer's central backward hides in this comm window.
+      stage.comp = marginal_compute_seconds_max(l, true);
+      stage.total = tq + std::max(stats.comm_seconds, central) + tdq +
+                    stage.comp;
     } else {
-      stage.comp = comp_all;
-      stage.total = comp_all;
+      for (int d = 0; d < num_devices_; ++d)
+        model_.layer(l).apply_grads(sinks[d]);
+      if (l > 0) {
+        stage = backward_exchange(l, grad_x);
+        switch (opts_.method) {
+          case Method::kVanilla:
+          case Method::kSancus:
+            stage.comp = comp_all;
+            stage.total += comp_all;
+            break;
+          case Method::kAdaQP:
+          case Method::kAdaQPUniform:
+            break;  // handled above
+          case Method::kPipeGCN:
+            stage.comp = comp_all;
+            stage.total = std::max(comp_all, stage.comm);
+            break;
+        }
+      } else {
+        stage.comp = comp_all;
+        stage.total = comp_all;
+      }
     }
     total.accumulate(stage);
     grads = std::move(grad_x);
@@ -665,6 +760,12 @@ RunResult DistTrainer::run() {
   result.dataset = dataset_.spec.name;
   result.partition_setting = cluster_.partition_setting();
 
+  // ADAQP_TRACE=<path>: record every pipeline stage of this run and write a
+  // Chrome trace_event JSON there (open in chrome://tracing / Perfetto).
+  const char* trace_env = std::getenv("ADAQP_TRACE");
+  const std::string trace_path = trace_env ? trace_env : "";
+  if (!trace_path.empty()) pipeline::TraceRecorder::instance().start();
+
   for (int e = 0; e < opts_.epochs; ++e) {
     EpochRecord rec = train_epoch();
     result.train_seconds += rec.time.total;
@@ -675,6 +776,12 @@ RunResult DistTrainer::run() {
                    result.method.c_str(), e, rec.train_loss, rec.val_acc,
                    rec.time.total);
     result.epochs.push_back(std::move(rec));
+  }
+  if (!trace_path.empty()) {
+    pipeline::TraceRecorder::instance().stop();
+    if (!pipeline::TraceRecorder::instance().write_json(trace_path))
+      std::fprintf(stderr, "[adaqp] could not write ADAQP_TRACE file %s\n",
+                   trace_path.c_str());
   }
   const double n = static_cast<double>(std::max(opts_.epochs, 1));
   result.avg_breakdown.comm /= n;

@@ -25,6 +25,16 @@
 // pool (src/runtime/), and shared parameter gradients are reduced in
 // ascending device order — so a run is bit-identical at any ADAQP_THREADS
 // setting (tests/test_runtime.cpp enforces this).
+//
+// With ADAQP_ASYNC=1 (the default) the AdaQP / AdaQP-Uniform layers run
+// through the pipeline stage scheduler (src/pipeline/): the marginal-row
+// encode/wire/decode stages execute concurrently with the central-subgraph
+// forward, joining before marginal compute — the *real* execution of the
+// overlap the cost model's max(comm, central) arithmetic predicts — and the
+// backward exchange overlaps the parameter-gradient folds. ADAQP_ASYNC=0
+// keeps the phased execution; both modes (and any thread count) are
+// bit-identical, enforced by tests/test_pipeline.cpp. Setting ADAQP_TRACE
+// to a path makes run() record a Chrome trace of the stages.
 #pragma once
 
 #include <functional>
@@ -140,6 +150,12 @@ class DistTrainer {
   EpochBreakdown forward_exchange(int l);
   EpochBreakdown backward_exchange(int l, std::vector<Matrix>& grads);
 
+  /// AdaQP / AdaQP-Uniform layer execution: exchange + forward compute of
+  /// layer l as one pipeline stage graph (async mode overlaps the per-pair
+  /// encode/wire/decode with central-row compute; sync mode runs the phased
+  /// reference schedule). Bit-identical either way.
+  EpochBreakdown adaqp_forward_layer(int l, bool training);
+
   double compute_seconds(int layer, bool backward, bool central_only,
                          int device) const;
   double max_compute_seconds(int layer, bool backward, bool central_only) const;
@@ -188,6 +204,7 @@ class DistTrainer {
   std::vector<std::vector<bool>> sancus_bcast_now_;     ///< [layer][device]
 
   int epoch_ = 0;
+  bool async_pipeline_ = true;  ///< resolved from ADAQP_ASYNC at construction
   double assign_seconds_ = 0.0;
   std::size_t total_comm_bytes_ = 0;
   std::vector<std::vector<std::size_t>> last_layer1_pair_bytes_;

@@ -115,9 +115,30 @@ DistGraph build_dist_graph(const Graph& g, const PartitionResult& part) {
       dev.recv_local[part.part_of[dev.global_of_local[h]]].push_back(
           static_cast<NodeId>(h));
 
+    // Precomputed index views: owned identity, deduplicated boundary union,
+    // and peer lists (kept sorted by construction).
+    dev.owned_rows.resize(dev.num_owned);
+    for (std::size_t i = 0; i < dev.num_owned; ++i)
+      dev.owned_rows[i] = static_cast<NodeId>(i);
+    for (int p = 0; p < k; ++p) {
+      if (!dev.send_local[p].empty()) dev.send_targets.push_back(p);
+      dev.boundary_rows.insert(dev.boundary_rows.end(),
+                               dev.send_local[p].begin(),
+                               dev.send_local[p].end());
+    }
+    std::sort(dev.boundary_rows.begin(), dev.boundary_rows.end());
+    dev.boundary_rows.erase(
+        std::unique(dev.boundary_rows.begin(), dev.boundary_rows.end()),
+        dev.boundary_rows.end());
+
     // Reset the shared scratch map for the next device.
     for (NodeId gid : dev.global_of_local) local_of_global[gid] = kNoLocal;
   }
+  // Sender lists need every device's send maps, so fill them last.
+  for (auto& dev : dist.devices)
+    for (int p = 0; p < k; ++p)
+      if (p != dev.device && !dist.devices[p].send_local[dev.device].empty())
+        dev.halo_senders.push_back(p);
   return dist;
 }
 

@@ -49,6 +49,23 @@ struct DeviceGraph {
   /// Owned local ids with at least one halo neighbor (marginal nodes).
   std::vector<NodeId> marginal_nodes;
 
+  // Precomputed index views (filled by build_dist_graph) so hot paths — the
+  // async pipeline stages in particular — never rebuild row-id vectors per
+  // layer per epoch.
+
+  /// The identity list [0, num_owned) — the row set of a full owned-row
+  /// kernel call.
+  std::vector<NodeId> owned_rows;
+  /// Union of all send maps, ascending and deduplicated (the device's
+  /// boundary rows; SANCUS-style broadcasts snapshot exactly these).
+  std::vector<NodeId> boundary_rows;
+  /// Peers p with a nonempty devices[p].send_local[device] — the senders
+  /// whose forward messages must land before this device's marginal rows
+  /// can be computed.
+  std::vector<int> halo_senders;
+  /// Peers p with a nonempty send_local[p] (this device's receivers).
+  std::vector<int> send_targets;
+
   /// send_local[p]: owned local ids whose rows device p needs (it mirrors
   /// them as halo), ascending. Aligned with devices[p].recv_local[device].
   std::vector<std::vector<NodeId>> send_local;
@@ -70,6 +87,23 @@ struct DeviceGraph {
   std::vector<NodeId> in_sources;
 
   std::size_t num_local() const { return num_owned + num_halo; }
+
+  /// Span views of the precomputed row lists (the preferred way to name a
+  /// row set; no per-call vector builds).
+  std::span<const NodeId> owned_span() const { return owned_rows; }
+  /// owned_span() when the precomputed list is populated; otherwise fill
+  /// `scratch` with the identity list and view that — the single fallback
+  /// for hand-built DeviceGraphs that skipped build_dist_graph.
+  std::span<const NodeId> owned_span_or(std::vector<NodeId>& scratch) const {
+    if (owned_rows.size() == num_owned) return owned_rows;
+    scratch.resize(num_owned);
+    for (std::size_t i = 0; i < num_owned; ++i)
+      scratch[i] = static_cast<NodeId>(i);
+    return scratch;
+  }
+  std::span<const NodeId> central_span() const { return central_nodes; }
+  std::span<const NodeId> marginal_span() const { return marginal_nodes; }
+  std::span<const NodeId> boundary_span() const { return boundary_rows; }
 
   std::size_t degree(NodeId v) const {
     return static_cast<std::size_t>(offsets[v + 1] - offsets[v]);

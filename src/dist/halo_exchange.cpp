@@ -4,9 +4,9 @@
 
 #include "common/check.h"
 #include "common/rng.h"
-#include "quant/message_codec.h"
+#include "pipeline/async_exchange.h"
 #include "quant/quantize.h"
-#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 
 namespace adaqp {
 
@@ -30,64 +30,13 @@ ExchangePlan make_uniform_plan(const DistGraph& dist, int bit_width,
   return plan;
 }
 
-void check_plan_shape(const DistGraph& dist, const ExchangePlan& plan,
-                      bool forward) {
-  const int n = dist.num_devices();
-  ADAQP_CHECK_MSG(static_cast<int>(plan.bits.size()) == n,
-                  "plan device arity mismatch");
-  for (int d = 0; d < n; ++d) {
-    ADAQP_CHECK(static_cast<int>(plan.bits[d].size()) == n);
-    for (int p = 0; p < n; ++p) {
-      const auto& list = forward ? dist.devices[d].send_local[p]
-                                 : dist.devices[d].recv_local[p];
-      ADAQP_CHECK_MSG(plan.bits[d][p].size() == list.size(),
-                      "plan bits[" << d << "][" << p << "] arity "
-                                   << plan.bits[d][p].size() << " != "
-                                   << list.size());
-    }
-  }
-}
-
-ExchangeStats make_stats(int n) {
-  ExchangeStats stats;
-  stats.pair_bytes.assign(n, std::vector<std::size_t>(n, 0));
-  stats.quant_seconds.assign(n, 0.0);
-  stats.dequant_seconds.assign(n, 0.0);
-  return stats;
-}
-
-/// Full-precision bytes of the messages actually quantized (bits < 32);
-/// 32-bit passthrough costs no kernel time.
-std::size_t quantized_fp_bytes(std::span<const int> bits, std::size_t dim) {
-  std::size_t rows = 0;
-  for (int b : bits)
-    if (b != 32) ++rows;
-  return rows * dim * sizeof(float);
-}
-
-void finalize_comm_time(const DistGraph& dist, const ClusterSpec& cluster,
-                        ExchangeStats& stats) {
-  const int n = dist.num_devices();
-  if (n > 1)
-    stats.comm_seconds =
-        RingAllToAll(n).total_seconds(cluster, stats.pair_bytes);
-}
-
-/// Fold per-pair full-precision byte counts into per-device quantize /
-/// de-quantize kernel times. Runs serially after the parallel encode so the
-/// receiver-indexed dequant accumulation stays in a fixed (d, p) order.
-void accumulate_kernel_times(
-    const ClusterSpec& cluster,
-    const std::vector<std::vector<std::size_t>>& fp_bytes,
-    ExchangeStats& stats) {
-  const int n = static_cast<int>(fp_bytes.size());
-  for (int d = 0; d < n; ++d)
-    for (int p = 0; p < n; ++p) {
-      if (fp_bytes[d][p] == 0) continue;
-      const double t = cluster.quant_seconds(fp_bytes[d][p]);
-      stats.quant_seconds[d] += t;
-      stats.dequant_seconds[p] += t;
-    }
+/// The synchronous entry points execute the same per-pair stages as the
+/// async API. With more than one pool thread the stages run concurrently
+/// (the caller helps drain them, so this is the PR-2-style parallel
+/// exchange); from inside a pool task or on a 1-thread pool the serial
+/// reference schedule runs inline. Numerics are identical either way.
+bool parallel_exchange_ok() {
+  return !ThreadPool::in_worker() && num_threads() > 1;
 }
 
 }  // namespace
@@ -127,36 +76,9 @@ ExchangeStats exchange_halo_forward(const DistGraph& dist,
                                     const ExchangePlan& plan,
                                     const ClusterSpec& cluster,
                                     std::vector<Rng>& rngs) {
-  const int n = dist.num_devices();
-  ADAQP_CHECK(static_cast<int>(locals.size()) == n);
-  ADAQP_CHECK(static_cast<int>(rngs.size()) == n);
-  ADAQP_CHECK(cluster.num_devices() == n);
-  check_plan_shape(dist, plan, /*forward=*/true);
-
-  ExchangeStats stats = make_stats(n);
-  std::vector<std::vector<std::size_t>> fp_bytes(
-      n, std::vector<std::size_t>(n, 0));
-  // One task per sender: encodes read only the sender's owned rows (with its
-  // private Rng, advanced in the same p-ascending order as a serial sweep)
-  // and decodes write only the halo rows each receiver dedicates to that
-  // sender — all writes are disjoint, so any interleaving is bit-identical.
-  parallel_for_each(static_cast<std::size_t>(n), [&](std::size_t di) {
-    const int d = static_cast<int>(di);
-    const DeviceGraph& dev = dist.devices[d];
-    ADAQP_CHECK(locals[d].rows() == dev.num_local());
-    for (int p = 0; p < n; ++p) {
-      if (p == d || dev.send_local[p].empty()) continue;
-      const auto& bits = plan.bits[d][p];
-      const EncodedBlock block =
-          encode_rows(locals[d], dev.send_local[p], bits, rngs[d]);
-      stats.pair_bytes[d][p] = block.wire_bytes();
-      fp_bytes[d][p] = quantized_fp_bytes(bits, locals[d].cols());
-      decode_rows(block, locals[p], dist.devices[p].recv_local[d]);
-    }
-  });
-  accumulate_kernel_times(cluster, fp_bytes, stats);
-  finalize_comm_time(dist, cluster, stats);
-  return stats;
+  pipeline::AsyncExchange exchange(dist, cluster);
+  exchange.submit_forward(locals, plan, rngs, parallel_exchange_ok());
+  return exchange.wait();
 }
 
 ExchangeStats exchange_halo_backward(const DistGraph& dist,
@@ -164,65 +86,9 @@ ExchangeStats exchange_halo_backward(const DistGraph& dist,
                                      const ExchangePlan& plan,
                                      const ClusterSpec& cluster,
                                      std::vector<Rng>& rngs) {
-  const int n = dist.num_devices();
-  ADAQP_CHECK(static_cast<int>(grads.size()) == n);
-  ADAQP_CHECK(static_cast<int>(rngs.size()) == n);
-  ADAQP_CHECK(cluster.num_devices() == n);
-  check_plan_shape(dist, plan, /*forward=*/false);
-
-  ExchangeStats stats = make_stats(n);
-  std::vector<std::vector<std::size_t>> fp_bytes(
-      n, std::vector<std::size_t>(n, 0));
-  // Two phases so the accumulation into each owner stays deterministic.
-  //
-  // Phase 1 — per-sender encode: reads only the sender's halo rows (owners
-  // accumulate only into owned rows, so there is no read/write overlap) with
-  // its private Rng advanced in the serial p-ascending order.
-  std::vector<std::vector<EncodedBlock>> blocks(n,
-                                                std::vector<EncodedBlock>(n));
-  parallel_for_each(static_cast<std::size_t>(n), [&](std::size_t di) {
-    const int d = static_cast<int>(di);
-    const DeviceGraph& dev = dist.devices[d];
-    ADAQP_CHECK(grads[d].rows() == dev.num_local());
-    for (int p = 0; p < n; ++p) {
-      if (p == d || dev.recv_local[p].empty()) continue;
-      const auto& bits = plan.bits[d][p];
-      blocks[d][p] = encode_rows(grads[d], dev.recv_local[p], bits, rngs[d]);
-      stats.pair_bytes[d][p] = blocks[d][p].wire_bytes();
-      fp_bytes[d][p] = quantized_fp_bytes(bits, grads[d].cols());
-    }
-  });
-  // Phase 2 — per-destination decode/accumulate: task p owns grads[p]
-  // outright and folds in senders in ascending order, the exact accumulation
-  // order of a serial d-outer sweep.
-  parallel_for_each(static_cast<std::size_t>(n), [&](std::size_t pi) {
-    const int p = static_cast<int>(pi);
-    for (int d = 0; d < n; ++d) {
-      if (d == p || blocks[d][p].bytes.empty()) continue;
-      const auto& owner_rows = dist.devices[p].send_local[d];
-      Matrix decoded(owner_rows.size(), grads[p].cols());
-      std::vector<NodeId> seq(owner_rows.size());
-      for (std::size_t i = 0; i < seq.size(); ++i)
-        seq[i] = static_cast<NodeId>(i);
-      decode_rows(blocks[d][p], decoded, seq);
-      for (std::size_t i = 0; i < owner_rows.size(); ++i) {
-        auto dst = grads[p].row(owner_rows[i]);
-        const auto src = decoded.row(i);
-        for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
-      }
-    }
-  });
-  // Shipped halo gradients are cleared on every device (disjoint rows).
-  parallel_for_each(static_cast<std::size_t>(n), [&](std::size_t di) {
-    const DeviceGraph& dev = dist.devices[di];
-    for (std::size_t h = dev.num_owned; h < dev.num_local(); ++h) {
-      auto row = grads[di].row(h);
-      std::fill(row.begin(), row.end(), 0.0f);
-    }
-  });
-  accumulate_kernel_times(cluster, fp_bytes, stats);
-  finalize_comm_time(dist, cluster, stats);
-  return stats;
+  pipeline::AsyncExchange exchange(dist, cluster);
+  exchange.submit_backward(grads, plan, rngs, parallel_exchange_ok());
+  return exchange.wait();
 }
 
 double allreduce_sum(std::vector<Matrix>& per_device,

@@ -52,6 +52,12 @@ struct ExchangeStats {
 /// Forward halo exchange: for every pair (d, p), encode the send-map rows of
 /// locals[d] at plan.bits[d][p] and decode them into the aligned halo rows
 /// of locals[p]. Owned rows are never written.
+///
+/// Both exchanges advance each rngs[d] by exactly one draw per call, from
+/// which private per-pair stochastic-rounding streams are derived — the
+/// mechanism that lets pipeline::AsyncExchange run messages concurrently
+/// with compute while staying bit-identical to this synchronous form (both
+/// are the same per-pair stages; see src/pipeline/async_exchange.h).
 ExchangeStats exchange_halo_forward(const DistGraph& dist,
                                     std::vector<Matrix>& locals,
                                     const ExchangePlan& plan,

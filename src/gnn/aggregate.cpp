@@ -67,9 +67,8 @@ void aggregate_forward(const DeviceGraph& dev, Aggregator agg, const Matrix& x,
                        Matrix& out) {
   if (out.rows() != dev.num_owned || out.cols() != x.cols())
     out = Matrix(dev.num_owned, x.cols());
-  std::vector<NodeId> all(dev.num_owned);
-  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<NodeId>(i);
-  aggregate_forward(dev, agg, x, all, out);
+  std::vector<NodeId> scratch;
+  aggregate_forward(dev, agg, x, dev.owned_span_or(scratch), out);
 }
 
 void aggregate_backward(const DeviceGraph& dev, Aggregator agg,

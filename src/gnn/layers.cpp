@@ -14,32 +14,54 @@ void LayerNorm::init() {
   beta.value.fill(0.0f);
 }
 
+namespace {
+
+/// One LayerNorm row — shared by the full and row-subset forwards so both
+/// are bit-identical per row by construction.
+inline void layer_norm_row(const Matrix& in, Matrix& out,
+                           LayerNorm::Cache& cache, const Matrix& gamma,
+                           const Matrix& beta, float epsilon, std::size_t r) {
+  const std::size_t dim = in.cols();
+  const auto x = in.row(r);
+  double mean = 0.0;
+  for (float v : x) mean += v;
+  mean /= static_cast<double>(dim);
+  double var = 0.0;
+  for (float v : x) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(dim);
+  const auto rstd = static_cast<float>(1.0 / std::sqrt(var + epsilon));
+  cache.rstd[r] = rstd;
+  auto xh = cache.normalized.row(r);
+  auto y = out.row(r);
+  for (std::size_t c = 0; c < dim; ++c) {
+    xh[c] = (x[c] - static_cast<float>(mean)) * rstd;
+    y[c] = xh[c] * gamma.data()[c] + beta.data()[c];
+  }
+}
+
+}  // namespace
+
 void LayerNorm::forward(const Matrix& in, Matrix& out, Cache& cache) const {
   const std::size_t rows = in.rows(), dim = in.cols();
   ADAQP_CHECK(gamma.value.cols() == dim);
   if (!out.same_shape(in)) out = Matrix(rows, dim);
   if (!cache.normalized.same_shape(in)) cache.normalized = Matrix(rows, dim);
   cache.rstd.resize(rows);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const auto x = in.row(r);
-    double mean = 0.0;
-    for (float v : x) mean += v;
-    mean /= static_cast<double>(dim);
-    double var = 0.0;
-    for (float v : x) {
-      const double d = v - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(dim);
-    const auto rstd = static_cast<float>(1.0 / std::sqrt(var + epsilon));
-    cache.rstd[r] = rstd;
-    auto xh = cache.normalized.row(r);
-    auto y = out.row(r);
-    for (std::size_t c = 0; c < dim; ++c) {
-      xh[c] = (x[c] - static_cast<float>(mean)) * rstd;
-      y[c] = xh[c] * gamma.value.data()[c] + beta.value.data()[c];
-    }
-  }
+  for (std::size_t r = 0; r < rows; ++r)
+    layer_norm_row(in, out, cache, gamma.value, beta.value, epsilon, r);
+}
+
+void LayerNorm::forward_rows(const Matrix& in, Matrix& out, Cache& cache,
+                             std::span<const NodeId> rows) const {
+  ADAQP_CHECK(gamma.value.cols() == in.cols());
+  ADAQP_CHECK(out.same_shape(in));
+  ADAQP_CHECK(cache.normalized.same_shape(in));
+  ADAQP_CHECK(cache.rstd.size() >= in.rows());
+  for (NodeId r : rows)
+    layer_norm_row(in, out, cache, gamma.value, beta.value, epsilon, r);
 }
 
 void LayerNorm::backward(const Matrix& grad_out, const Cache& cache,
@@ -99,57 +121,93 @@ void GnnLayer::init_weights(Rng& rng) {
 void GnnLayer::forward(const DeviceGraph& dev, const Matrix& x_local,
                        Matrix& out, LayerCache& cache, Rng& rng,
                        bool training) const {
+  forward_prepare(dev, cache, rng, training);
+  std::vector<NodeId> scratch;
+  forward_rows(dev, x_local, out, cache, dev.owned_span_or(scratch));
+}
+
+void GnnLayer::forward_prepare(const DeviceGraph& dev, LayerCache& cache,
+                               Rng& rng, bool training) const {
+  const std::size_t owned = dev.num_owned;
+  const auto ensure = [](Matrix& m, std::size_t r, std::size_t c) {
+    if (m.rows() != r || m.cols() != c) m = Matrix(r, c);
+  };
+  ensure(cache.agg, owned, config_.in_dim);
+  ensure(cache.pre_norm, owned, config_.out_dim);
+  if (config_.aggregator == Aggregator::kSageMean) {
+    ensure(cache.mean_nbr, owned, config_.in_dim);
+    ensure(cache.self_scratch, owned, config_.out_dim);
+  }
+  if (config_.is_output) return;
+  ensure(cache.pre_act, owned, config_.out_dim);
+  if (config_.layer_norm) {
+    ensure(cache.ln.normalized, owned, config_.out_dim);
+    cache.ln.rstd.resize(owned);
+  }
+  if (training && config_.dropout > 0.0f) {
+    // Row-major over all owned rows: the exact draws dropout_forward makes,
+    // so pre-drawing here leaves the device stream bit-identical.
+    dropout_mask(owned, config_.out_dim, config_.dropout, rng,
+                 cache.drop_mask);
+  } else {
+    ensure(cache.drop_mask, owned, config_.out_dim);
+    cache.drop_mask.fill(1.0f);
+  }
+}
+
+void GnnLayer::forward_rows(const DeviceGraph& dev, const Matrix& x_local,
+                            Matrix& out, LayerCache& cache,
+                            std::span<const NodeId> rows) const {
+  if (rows.empty()) return;
   ADAQP_CHECK(x_local.rows() == dev.num_local());
   ADAQP_CHECK(x_local.cols() == config_.in_dim);
   ADAQP_CHECK(out.rows() >= dev.num_owned && out.cols() == config_.out_dim);
+  ADAQP_CHECK(cache.pre_norm.rows() == dev.num_owned);
 
-  cache.input = x_local;
   if (config_.aggregator != Aggregator::kSageMean) {
-    aggregate_forward(dev, config_.aggregator, x_local, cache.agg);
-    gemm(cache.agg, weight_.value, cache.pre_norm);
+    aggregate_forward(dev, config_.aggregator, x_local, rows, cache.agg);
+    gemm_rows(cache.agg, weight_.value, cache.pre_norm, rows);
   } else {
-    aggregate_forward(dev, Aggregator::kSageMean, x_local, cache.mean_nbr);
-    gemm(cache.mean_nbr, weight_.value, cache.pre_norm);
-    // Self path uses the owned rows of x.
-    Matrix x_owned(dev.num_owned, config_.in_dim);
-    for (std::size_t r = 0; r < dev.num_owned; ++r) {
-      const auto src = x_local.row(r);
-      std::copy(src.begin(), src.end(), x_owned.row(r).begin());
+    aggregate_forward(dev, Aggregator::kSageMean, x_local, rows,
+                      cache.mean_nbr);
+    gemm_rows(cache.mean_nbr, weight_.value, cache.pre_norm, rows);
+    // Self path uses the owned rows of x (cached for dW_self).
+    for (NodeId v : rows) {
+      const auto src = x_local.row(v);
+      std::copy(src.begin(), src.end(), cache.agg.row(v).begin());
     }
-    cache.agg = std::move(x_owned);  // cache owned input for dW_self
-    Matrix self_out;
-    gemm(cache.agg, weight_self_.value, self_out);
-    cache.pre_norm.add_inplace(self_out);
+    gemm_rows(cache.agg, weight_self_.value, cache.self_scratch, rows);
+    for (NodeId v : rows) {
+      auto dst = cache.pre_norm.row(v);
+      const auto src = cache.self_scratch.row(v);
+      for (std::size_t c = 0; c < config_.out_dim; ++c) dst[c] += src[c];
+    }
   }
 
-  const Matrix* stage = &cache.pre_norm;
-  Matrix post_act;
   if (!config_.is_output) {
     if (config_.layer_norm) {
-      norm_.forward(*stage, cache.pre_act, cache.ln);
-      stage = &cache.pre_act;
+      norm_.forward_rows(cache.pre_norm, cache.pre_act, cache.ln, rows);
     } else {
-      cache.pre_act = *stage;
-      stage = &cache.pre_act;
+      for (NodeId v : rows) {
+        const auto src = cache.pre_norm.row(v);
+        std::copy(src.begin(), src.end(), cache.pre_act.row(v).begin());
+      }
     }
-    relu_forward(*stage, post_act);
-    Matrix dropped;
-    if (training && config_.dropout > 0.0f) {
-      dropout_forward(post_act, config_.dropout, rng, dropped,
-                      cache.drop_mask);
-    } else {
-      dropped = post_act;
-      cache.drop_mask = Matrix(post_act.rows(), post_act.cols());
-      cache.drop_mask.fill(1.0f);
-    }
-    for (std::size_t r = 0; r < dev.num_owned; ++r) {
-      const auto src = dropped.row(r);
-      std::copy(src.begin(), src.end(), out.row(r).begin());
+    // ReLU and the pre-drawn dropout mask, fused row-wise (identical
+    // arithmetic to relu_forward + the mask multiply of dropout_forward).
+    for (NodeId v : rows) {
+      const auto src = cache.pre_act.row(v);
+      const auto m = cache.drop_mask.row(v);
+      auto dst = out.row(v);
+      for (std::size_t c = 0; c < config_.out_dim; ++c) {
+        const float a = src[c] > 0.0f ? src[c] : 0.0f;
+        dst[c] = a * m[c];
+      }
     }
   } else {
-    for (std::size_t r = 0; r < dev.num_owned; ++r) {
-      const auto src = stage->row(r);
-      std::copy(src.begin(), src.end(), out.row(r).begin());
+    for (NodeId v : rows) {
+      const auto src = cache.pre_norm.row(v);
+      std::copy(src.begin(), src.end(), out.row(v).begin());
     }
   }
 }

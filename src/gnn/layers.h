@@ -47,6 +47,13 @@ struct LayerNorm {
   };
 
   void forward(const Matrix& in, Matrix& out, Cache& cache) const;
+  /// Row-subset forward: normalize only the rows in `rows` of `in` into the
+  /// matching rows of `out`/`cache` (which must be pre-sized, e.g. by
+  /// GnnLayer::forward_prepare). Per-row arithmetic is identical to
+  /// forward(), so disjoint subsets compose bit-exactly and may run
+  /// concurrently.
+  void forward_rows(const Matrix& in, Matrix& out, Cache& cache,
+                    std::span<const NodeId> rows) const;
   /// Accumulates into gamma.grad / beta.grad; writes grad_in.
   void backward(const Matrix& grad_out, const Cache& cache, Matrix& grad_in);
   /// Thread-safe variant: accumulates into caller-owned dgamma / dbeta
@@ -77,15 +84,17 @@ struct LayerGrads {
   Matrix beta;         // LayerNorm dβ (1 x out_dim)
 };
 
-/// Per-device forward cache (inputs and intermediates needed by backward).
+/// Per-device forward cache (intermediates needed by backward). All members
+/// are pre-sized by GnnLayer::forward_prepare, after which row-subset
+/// forward stages fill disjoint row slices concurrently.
 struct LayerCache {
-  Matrix input;        // x, num_local x in_dim (post halo exchange)
-  Matrix agg;          // Agg(x), num_owned x in_dim
+  Matrix agg;          // GCN: Agg(x); SAGE: owned input rows (for dW_self)
   Matrix mean_nbr;     // SAGE only: Mean(x), num_owned x in_dim
   Matrix pre_norm;     // Agg·W (+ self path), num_owned x out_dim
   LayerNorm::Cache ln;
   Matrix pre_act;      // after LN, num_owned x out_dim
-  Matrix drop_mask;    // dropout multipliers
+  Matrix drop_mask;    // dropout multipliers (pre-drawn by forward_prepare)
+  Matrix self_scratch; // SAGE only: x_self·W_self staging
 };
 
 class GnnLayer {
@@ -98,9 +107,28 @@ class GnnLayer {
 
   /// Compute owned rows of the output into rows [0, num_owned) of `out`
   /// (out is num_local_next x out_dim; halo rows are the *next* exchange's
-  /// job and are left untouched). `training` enables dropout.
+  /// job and are left untouched). `training` enables dropout. Equivalent to
+  /// forward_prepare followed by forward_rows over all owned rows.
   void forward(const DeviceGraph& dev, const Matrix& x_local, Matrix& out,
                LayerCache& cache, Rng& rng, bool training) const;
+
+  /// Pre-size the forward cache and draw the dropout mask for all owned
+  /// rows (row-major, exactly the stream consumption of dropout_forward).
+  /// This is the only part of the forward that touches the Rng, so after it
+  /// returns, forward_rows calls over disjoint row subsets may run
+  /// concurrently — the pipeline computes central rows while the halo
+  /// exchange is still in flight, then marginal rows after the join.
+  void forward_prepare(const DeviceGraph& dev, LayerCache& cache, Rng& rng,
+                       bool training) const;
+
+  /// Compute the owned output rows in `rows` (a subset of [0, num_owned))
+  /// into `out`. Requires a preceding forward_prepare on `cache`. Central
+  /// rows read only owned rows of x_local; marginal rows also read halo
+  /// rows, so they must wait for the forward exchange. Each row's
+  /// arithmetic is bit-identical to the full forward's.
+  void forward_rows(const DeviceGraph& dev, const Matrix& x_local,
+                    Matrix& out, LayerCache& cache,
+                    std::span<const NodeId> rows) const;
 
   /// Backward from grad of owned output rows; accumulates weight grads and
   /// writes grad wrt the layer input for *all* local rows into grad_x

@@ -1,0 +1,281 @@
+#include "pipeline/async_exchange.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "runtime/thread_pool.h"
+
+namespace adaqp::pipeline {
+
+namespace {
+
+void check_plan_shape(const DistGraph& dist, const ExchangePlan& plan,
+                      bool forward) {
+  const int n = dist.num_devices();
+  ADAQP_CHECK_MSG(static_cast<int>(plan.bits.size()) == n,
+                  "plan device arity mismatch");
+  for (int d = 0; d < n; ++d) {
+    ADAQP_CHECK(static_cast<int>(plan.bits[d].size()) == n);
+    for (int p = 0; p < n; ++p) {
+      const auto& list = forward ? dist.devices[d].send_local[p]
+                                 : dist.devices[d].recv_local[p];
+      ADAQP_CHECK_MSG(plan.bits[d][p].size() == list.size(),
+                      "plan bits[" << d << "][" << p << "] arity "
+                                   << plan.bits[d][p].size() << " != "
+                                   << list.size());
+    }
+  }
+}
+
+/// Full-precision bytes of the messages actually quantized (bits < 32);
+/// 32-bit passthrough costs no kernel time.
+std::size_t quantized_fp_bytes(std::span<const int> bits, std::size_t dim) {
+  std::size_t rows = 0;
+  for (int b : bits)
+    if (b != 32) ++rows;
+  return rows * dim * sizeof(float);
+}
+
+std::string stage_name(const char* kind, int d, int p) {
+  std::string name(kind);
+  name += "/d";
+  name += std::to_string(d);
+  if (p >= 0) {
+    name += "->d";
+    name += std::to_string(p);
+  }
+  return name;
+}
+
+}  // namespace
+
+void ExchangeAccounting::init(int n, std::vector<Rng>& device_rngs) {
+  pair_bytes.assign(n, std::vector<std::size_t>(n, 0));
+  fp_bytes.assign(n, std::vector<std::size_t>(n, 0));
+  blocks.assign(n, std::vector<EncodedBlock>(n));
+  // Per-pair streams, derived serially: one next() per device stream (in
+  // ascending device order), splitmixed with the peer index. Identical for
+  // every schedule, and no stage ever touches the shared device streams.
+  pair_rngs.clear();
+  pair_rngs.reserve(n);
+  for (int d = 0; d < n; ++d) {
+    const std::uint64_t base = device_rngs[d].next();
+    std::vector<Rng> row;
+    row.reserve(n);
+    for (int p = 0; p < n; ++p) {
+      std::uint64_t mix =
+          base ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(p + 1));
+      row.emplace_back(splitmix64(mix));
+    }
+    pair_rngs.push_back(std::move(row));
+  }
+}
+
+PairStages add_forward_exchange_stages(StageGraph& graph,
+                                       const DistGraph& dist,
+                                       std::vector<Matrix>& locals,
+                                       const ExchangePlan& plan,
+                                       ExchangeAccounting& acct) {
+  const int n = dist.num_devices();
+  ADAQP_CHECK(static_cast<int>(locals.size()) == n);
+  check_plan_shape(dist, plan, /*forward=*/true);
+  for (int d = 0; d < n; ++d)
+    ADAQP_CHECK(locals[d].rows() == dist.devices[d].num_local());
+
+  PairStages out;
+  out.stage.assign(n, std::vector<int>(n, -1));
+  for (int d = 0; d < n; ++d) {
+    const DeviceGraph& dev = dist.devices[d];
+    for (int p = 0; p < n; ++p) {
+      if (p == d || dev.send_local[p].empty()) continue;
+      // One stage per message: encode the sender's owned rows with the
+      // pair's private stream and decode straight into the receiver's halo
+      // rows. Each stage writes its own halo-row slice and stats slots, so
+      // all forward stages are mutually independent.
+      out.stage[d][p] = graph.add(
+          stage_name("fwd", d, p),
+          [&dist, &locals, &plan, &acct, d, p] {
+            const DeviceGraph& sender = dist.devices[d];
+            const auto& bits = plan.bits[d][p];
+            const EncodedBlock block = encode_rows(
+                locals[d], sender.send_local[p], bits, acct.pair_rngs[d][p]);
+            acct.pair_bytes[d][p] = block.wire_bytes();
+            acct.fp_bytes[d][p] =
+                quantized_fp_bytes(bits, locals[d].cols());
+            decode_rows(block, locals[p], dist.devices[p].recv_local[d]);
+          });
+    }
+  }
+  return out;
+}
+
+PairStages add_backward_exchange_stages(StageGraph& graph,
+                                        const DistGraph& dist,
+                                        std::vector<Matrix>& grads,
+                                        const ExchangePlan& plan,
+                                        ExchangeAccounting& acct) {
+  const int n = dist.num_devices();
+  ADAQP_CHECK(static_cast<int>(grads.size()) == n);
+  check_plan_shape(dist, plan, /*forward=*/false);
+  for (int d = 0; d < n; ++d)
+    ADAQP_CHECK(grads[d].rows() == dist.devices[d].num_local());
+
+  PairStages out;
+  out.stage.assign(n, std::vector<int>(n, -1));
+  out.owner_stage.assign(n, -1);
+
+  // Phase 1 stages — per-pair encode of the halo-row gradients bound for
+  // owner p. Reads only the sender's halo rows; owners accumulate only into
+  // owned rows, so encodes and accumulates of different devices commute.
+  for (int d = 0; d < n; ++d) {
+    const DeviceGraph& dev = dist.devices[d];
+    for (int p = 0; p < n; ++p) {
+      if (p == d || dev.recv_local[p].empty()) continue;
+      out.stage[d][p] = graph.add(
+          stage_name("bwd-enc", d, p),
+          [&dist, &grads, &plan, &acct, d, p] {
+            const DeviceGraph& sender = dist.devices[d];
+            const auto& bits = plan.bits[d][p];
+            acct.blocks[d][p] = encode_rows(
+                grads[d], sender.recv_local[p], bits, acct.pair_rngs[d][p]);
+            acct.pair_bytes[d][p] = acct.blocks[d][p].wire_bytes();
+            acct.fp_bytes[d][p] =
+                quantized_fp_bytes(bits, grads[d].cols());
+          });
+    }
+  }
+
+  // Phase 2 stages — one per owner: decode every inbound block and fold it
+  // into the owned rows in ascending sender order, the exact accumulation
+  // order of a serial d-outer sweep.
+  for (int p = 0; p < n; ++p) {
+    std::vector<int> deps;
+    for (int d = 0; d < n; ++d)
+      if (out.stage[d][p] >= 0) deps.push_back(out.stage[d][p]);
+    if (deps.empty()) continue;
+    out.owner_stage[p] = graph.add(
+        stage_name("bwd-acc", p, -1),
+        [&dist, &grads, &acct, p, n] {
+          for (int d = 0; d < n; ++d) {
+            if (d == p || acct.blocks[d][p].bytes.empty()) continue;
+            const auto& owner_rows = dist.devices[p].send_local[d];
+            Matrix decoded(owner_rows.size(), grads[p].cols());
+            std::vector<NodeId> seq(owner_rows.size());
+            for (std::size_t i = 0; i < seq.size(); ++i)
+              seq[i] = static_cast<NodeId>(i);
+            decode_rows(acct.blocks[d][p], decoded, seq);
+            for (std::size_t i = 0; i < owner_rows.size(); ++i) {
+              auto dst = grads[p].row(owner_rows[i]);
+              const auto src = decoded.row(i);
+              for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
+            }
+          }
+        },
+        deps);
+  }
+
+  // Phase 3 stages — zero each device's halo rows once its own encodes are
+  // done (their contribution has been shipped).
+  for (int d = 0; d < n; ++d) {
+    std::vector<int> deps;
+    for (int p = 0; p < n; ++p)
+      if (out.stage[d][p] >= 0) deps.push_back(out.stage[d][p]);
+    const DeviceGraph& dev = dist.devices[d];
+    if (dev.num_halo == 0) continue;
+    graph.add(
+        stage_name("bwd-zero", d, -1),
+        [&dist, &grads, d] {
+          const DeviceGraph& device = dist.devices[d];
+          for (std::size_t h = device.num_owned; h < device.num_local(); ++h) {
+            auto row = grads[d].row(h);
+            std::fill(row.begin(), row.end(), 0.0f);
+          }
+        },
+        deps);
+  }
+  return out;
+}
+
+ExchangeStats finalize_exchange_stats(const ExchangeAccounting& acct,
+                                      const DistGraph& dist,
+                                      const ClusterSpec& cluster) {
+  const int n = dist.num_devices();
+  ExchangeStats stats;
+  stats.pair_bytes = acct.pair_bytes;
+  stats.quant_seconds.assign(n, 0.0);
+  stats.dequant_seconds.assign(n, 0.0);
+  // Kernel times fold in fixed (d, p) order so the receiver-indexed dequant
+  // accumulation is schedule-independent.
+  for (int d = 0; d < n; ++d)
+    for (int p = 0; p < n; ++p) {
+      if (acct.fp_bytes[d][p] == 0) continue;
+      const double t = cluster.quant_seconds(acct.fp_bytes[d][p]);
+      stats.quant_seconds[d] += t;
+      stats.dequant_seconds[p] += t;
+    }
+  if (n > 1)
+    stats.comm_seconds =
+        RingAllToAll(n).total_seconds(cluster, stats.pair_bytes);
+  return stats;
+}
+
+AsyncExchange::AsyncExchange(const DistGraph& dist, const ClusterSpec& cluster)
+    : dist_(dist), cluster_(cluster) {
+  ADAQP_CHECK(cluster_.num_devices() == dist_.num_devices());
+}
+
+AsyncExchange::~AsyncExchange() {
+  // A launched exchange must not outlive its stages; join defensively.
+  if (submitted_ && async_ && !finished_) {
+    try {
+      graph_.wait();
+    } catch (...) {
+    }
+  }
+}
+
+void AsyncExchange::submit_forward(std::vector<Matrix>& locals,
+                                   const ExchangePlan& plan,
+                                   std::vector<Rng>& rngs, bool async) {
+  ADAQP_CHECK_MSG(!submitted_, "AsyncExchange reused; create a new instance");
+  ADAQP_CHECK(static_cast<int>(rngs.size()) == dist_.num_devices());
+  submitted_ = true;
+  async_ = async;
+  acct_.init(dist_.num_devices(), rngs);
+  stages_ = add_forward_exchange_stages(graph_, dist_, locals, plan, acct_);
+  if (async_) graph_.launch();
+}
+
+void AsyncExchange::submit_backward(std::vector<Matrix>& grads,
+                                    const ExchangePlan& plan,
+                                    std::vector<Rng>& rngs, bool async) {
+  ADAQP_CHECK_MSG(!submitted_, "AsyncExchange reused; create a new instance");
+  ADAQP_CHECK(static_cast<int>(rngs.size()) == dist_.num_devices());
+  submitted_ = true;
+  async_ = async;
+  acct_.init(dist_.num_devices(), rngs);
+  stages_ = add_backward_exchange_stages(graph_, dist_, grads, plan, acct_);
+  if (async_) graph_.launch();
+}
+
+Event* AsyncExchange::pair_done(int d, int p) {
+  if (!submitted_) return nullptr;
+  const int n = dist_.num_devices();
+  if (d < 0 || p < 0 || d >= n || p >= n) return nullptr;
+  const int id = stages_.stage[d][p];
+  return id < 0 ? nullptr : &graph_.stage_done(id);
+}
+
+ExchangeStats AsyncExchange::wait() {
+  ADAQP_CHECK_MSG(submitted_ && !finished_,
+                  "AsyncExchange::wait without a pending submit");
+  finished_ = true;
+  if (async_)
+    graph_.wait();
+  else
+    graph_.run_serial();
+  return finalize_exchange_stats(acct_, dist_, cluster_);
+}
+
+}  // namespace adaqp::pipeline

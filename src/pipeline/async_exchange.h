@@ -1,0 +1,123 @@
+// Asynchronous halo exchange: the submit()/wait() split of
+// exchange_halo_forward / exchange_halo_backward.
+//
+// Every (sender, receiver) message becomes one pipeline stage that encodes
+// through the real wire codec and decodes on the receiver, so the
+// quantize -> wire -> dequantize work of a layer can overlap the central-
+// subgraph computation the paper hides it behind (§4.1). Determinism at any
+// thread count / schedule comes from two rules, mirroring what src/runtime/
+// did for parallel_for:
+//
+//  * Per-pair RNG streams. Stochastic-rounding draws come from a private
+//    stream per (sender, receiver) pair, derived serially at submit time
+//    (one next() per device stream, then a splitmix of that base with the
+//    peer index). No stage ever touches a shared Rng, so stage scheduling
+//    cannot reorder draws — and the serial reference schedule consumes the
+//    exact same streams.
+//  * Ascending-owner decode order. Backward accumulation into an owner's
+//    rows happens in a single per-owner stage that folds senders in
+//    ascending order — the same summation order as a serial d-outer sweep.
+//
+// The synchronous exchange_halo_forward/backward entry points in src/dist/
+// are thin wrappers over this API (submit immediately followed by wait), so
+// there is exactly one exchange implementation in the library.
+#pragma once
+
+#include <vector>
+
+#include "comm/cluster.h"
+#include "common/rng.h"
+#include "dist/dist_graph.h"
+#include "dist/halo_exchange.h"
+#include "pipeline/stage_graph.h"
+#include "quant/message_codec.h"
+
+namespace adaqp::pipeline {
+
+/// Per-pair stage ids of one exchange added to a StageGraph.
+struct PairStages {
+  /// stage[d][p]: id of the encode stage for message d -> p, or -1 when the
+  /// pair exchanges nothing.
+  std::vector<std::vector<int>> stage;
+  /// Backward only: per-owner decode/accumulate stage ids (-1 when the
+  /// owner receives nothing).
+  std::vector<int> owner_stage;
+};
+
+/// Storage the exchange stages write into; owned by the caller and must
+/// outlive the graph execution. All slots are indexed [sender][receiver]
+/// and written by exactly one stage, so no synchronization is needed.
+struct ExchangeAccounting {
+  std::vector<std::vector<std::size_t>> pair_bytes;
+  std::vector<std::vector<std::size_t>> fp_bytes;
+  std::vector<std::vector<Rng>> pair_rngs;
+  std::vector<std::vector<EncodedBlock>> blocks;  ///< backward staging
+
+  void init(int n, std::vector<Rng>& device_rngs);
+};
+
+/// Add one stage per forward message (encode sender rows, decode into the
+/// receiver's halo rows; disjoint writes). No dependencies between stages.
+PairStages add_forward_exchange_stages(StageGraph& graph,
+                                       const DistGraph& dist,
+                                       std::vector<Matrix>& locals,
+                                       const ExchangePlan& plan,
+                                       ExchangeAccounting& acct);
+
+/// Add backward stages: per-pair encodes of halo-row gradients, per-owner
+/// accumulate stages (senders folded ascending), and per-device halo-zero
+/// stages gated on that device's encodes.
+PairStages add_backward_exchange_stages(StageGraph& graph,
+                                        const DistGraph& dist,
+                                        std::vector<Matrix>& grads,
+                                        const ExchangePlan& plan,
+                                        ExchangeAccounting& acct);
+
+/// Fold the per-pair byte counts into ExchangeStats (kernel times in fixed
+/// (d, p) order, then the ring-all2all straggler time). Call after the
+/// graph has completed.
+ExchangeStats finalize_exchange_stats(const ExchangeAccounting& acct,
+                                      const DistGraph& dist,
+                                      const ClusterSpec& cluster);
+
+/// The submit()/wait() halves of one halo exchange, for callers that want
+/// the exchange in flight while they do other work (the trainer overlaps
+/// the backward exchange with its parameter-gradient folds; benches and
+/// tests drive it directly).
+class AsyncExchange {
+ public:
+  AsyncExchange(const DistGraph& dist, const ClusterSpec& cluster);
+  ~AsyncExchange();
+
+  AsyncExchange(const AsyncExchange&) = delete;
+  AsyncExchange& operator=(const AsyncExchange&) = delete;
+
+  /// Build the exchange stages and, when `async`, launch them on the pool.
+  /// locals/plan must stay valid until wait() returns. When `async` is
+  /// false nothing runs until wait(), which then executes the reference
+  /// serial schedule — numerics are identical either way.
+  void submit_forward(std::vector<Matrix>& locals, const ExchangePlan& plan,
+                      std::vector<Rng>& rngs, bool async);
+  void submit_backward(std::vector<Matrix>& grads, const ExchangePlan& plan,
+                       std::vector<Rng>& rngs, bool async);
+
+  /// Completion handle of the d -> p message (nullptr when the pair
+  /// exchanges nothing). Forward: set once the receiver's halo rows are
+  /// decoded. Backward: set once the message is encoded.
+  Event* pair_done(int d, int p);
+
+  /// Join the exchange and return its stats. Call exactly once per submit.
+  ExchangeStats wait();
+
+ private:
+  const DistGraph& dist_;
+  const ClusterSpec& cluster_;
+  StageGraph graph_;
+  ExchangeAccounting acct_;
+  PairStages stages_;
+  bool submitted_ = false;
+  bool async_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace adaqp::pipeline

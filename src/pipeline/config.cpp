@@ -1,0 +1,45 @@
+#include "pipeline/config.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace adaqp::pipeline {
+
+namespace {
+
+/// -1 = no override (consult the environment), 0 = sync, 1 = async.
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+bool async_enabled() {
+  const int ov = g_override.load(std::memory_order_acquire);
+  if (ov >= 0) return ov != 0;
+  const char* env = std::getenv("ADAQP_ASYNC");
+  if (env == nullptr || *env == '\0') return true;
+  if (std::strcmp(env, "0") == 0) return false;
+  if (std::strcmp(env, "1") == 0) return true;
+  std::ostringstream msg;
+  msg << "ADAQP_ASYNC must be 0 (sync phased execution) or 1 (async stage "
+         "scheduler); got \""
+      << env << "\"";
+  throw std::runtime_error(msg.str());
+}
+
+void set_async_override(int mode) {
+  g_override.store(mode < 0 ? -1 : (mode != 0 ? 1 : 0),
+                   std::memory_order_release);
+}
+
+AsyncModeGuard::AsyncModeGuard(bool async)
+    : prev_(g_override.load(std::memory_order_acquire)) {
+  set_async_override(async ? 1 : 0);
+}
+
+AsyncModeGuard::~AsyncModeGuard() { set_async_override(prev_); }
+
+}  // namespace adaqp::pipeline

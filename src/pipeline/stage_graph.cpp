@@ -1,0 +1,168 @@
+#include "pipeline/stage_graph.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "pipeline/trace.h"
+#include "runtime/thread_pool.h"
+
+namespace adaqp::pipeline {
+
+void Event::set() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Event::done() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return done_;
+}
+
+void Event::wait() {
+  ThreadPool& pool = global_pool();
+  for (;;) {
+    if (done()) return;
+    if (pool.try_run_one_detached()) continue;
+    // Queue dry: the remaining work is running on workers (or a dependent
+    // will be enqueued when it finishes). Block until set(), waking
+    // periodically to re-help in case new stages were submitted between the
+    // empty check and this wait.
+    std::unique_lock<std::mutex> lk(mu_);
+    if (done_) return;
+    cv_.wait_for(lk, std::chrono::milliseconds(5), [&] { return done_; });
+  }
+}
+
+int StageGraph::add(std::string name, StageFn fn,
+                    const std::vector<int>& deps) {
+  ADAQP_CHECK_MSG(!launched_, "StageGraph::add after launch");
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  Node& node = nodes_.back();
+  node.name = std::move(name);
+  node.fn = std::move(fn);
+  node.pending = 0;
+  for (int dep : deps) {
+    ADAQP_CHECK_MSG(dep >= 0 && dep < id,
+                    "stage \"" << node.name << "\" dependency " << dep
+                               << " must reference an earlier stage");
+    nodes_[dep].dependents.push_back(id);
+    ++node.pending;
+  }
+  return id;
+}
+
+Event& StageGraph::stage_done(int id) {
+  ADAQP_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
+  return nodes_[id].done;
+}
+
+void StageGraph::run_stage(std::size_t id) {
+  Node& node = nodes_[id];
+  {
+    TraceSpan span(node.name, "stage");
+    bool skip;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      skip = error_ != nullptr;  // a failed stage poisons the rest
+    }
+    if (!skip) {
+      try {
+        node.fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+  finish_stage(id);
+}
+
+void StageGraph::finish_stage(std::size_t id) {
+  Node& node = nodes_[id];
+  node.done.set();
+  std::vector<int> ready;
+  bool all_finished = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int dep : node.dependents) {
+      if (--nodes_[dep].pending == 0) ready.push_back(dep);
+    }
+    all_finished = --remaining_ == 0;
+  }
+  if (async_mode_) {
+    ThreadPool& pool = global_pool();
+    for (int id_ready : ready)
+      pool.submit([this, id_ready] {
+        run_stage(static_cast<std::size_t>(id_ready));
+      });
+  }
+  // In serial mode dependents are reached by the ascending-id sweep (deps
+  // always point backwards), so nothing is submitted.
+  if (all_finished) all_done_.set();
+}
+
+void StageGraph::launch() {
+  ADAQP_CHECK_MSG(!launched_, "StageGraph launched twice");
+  launched_ = true;
+  async_mode_ = true;
+  remaining_ = nodes_.size();
+  if (nodes_.empty()) {
+    all_done_.set();
+    return;
+  }
+  // Collect sources first: a source finishing mid-iteration may submit
+  // dependents concurrently, which is fine — only pending==0 transitions
+  // enqueue, so no stage can be submitted twice.
+  std::vector<std::size_t> sources;
+  for (std::size_t id = 0; id < nodes_.size(); ++id)
+    if (nodes_[id].pending == 0) sources.push_back(id);
+  ThreadPool& pool = global_pool();
+  for (std::size_t id : sources)
+    pool.submit([this, id] { run_stage(id); });
+}
+
+void StageGraph::wait() {
+  ADAQP_CHECK_MSG(launched_, "StageGraph::wait without launch");
+  all_done_.wait();
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void StageGraph::run_serial() {
+  ADAQP_CHECK_MSG(!launched_, "StageGraph::run_serial after launch");
+  launched_ = true;
+  async_mode_ = false;
+  remaining_ = nodes_.size();
+  if (nodes_.empty()) {
+    all_done_.set();
+    return;
+  }
+  for (std::size_t id = 0; id < nodes_.size(); ++id) run_stage(id);
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void StageGraph::run(bool async) {
+  if (async) {
+    launch();
+    wait();
+  } else {
+    run_serial();
+  }
+}
+
+}  // namespace adaqp::pipeline

@@ -1,0 +1,111 @@
+// Async stage scheduler on top of the runtime thread pool.
+//
+// A StageGraph is a DAG of named stages (closures) with explicit
+// dependencies. launch() submits every dependency-free stage to the thread
+// pool's detached queue and returns immediately; as stages finish they
+// unblock their dependents, which are submitted in turn. wait() joins the
+// whole graph — the waiting thread *helps* drain the detached queue, so a
+// graph completes even on a 1-thread pool (where it degrades gracefully to
+// inline execution). run_serial() executes the same stages inline in
+// ascending id order — the deterministic reference schedule the
+// ADAQP_ASYNC=0 escape hatch and the bit-exactness tests compare against.
+//
+// Determinism contract (the same one src/runtime/ established for
+// parallel_for): the scheduler only ever chooses *which thread* runs a
+// stage and *when*, never what a stage computes. Stages must write disjoint
+// locations, keep any accumulation order internal to a single stage, and
+// use private RNG streams (see the per-pair streams in
+// pipeline/async_exchange.h) — then every schedule, async or serial, at any
+// ADAQP_THREADS value, is bit-identical. tests/test_pipeline.cpp enforces
+// this end to end through DistTrainer.
+//
+// Every stage executes inside a TraceSpan, so an enabled TraceRecorder
+// yields a Chrome trace where overlap between exchange and compute stages
+// is directly visible.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adaqp::pipeline {
+
+/// One-shot completion handle. set() is sticky; wait() helps the thread
+/// pool drain detached stages while unfulfilled, so waiting on an event
+/// from the submitting thread can never deadlock the scheduler.
+class Event {
+ public:
+  void set();
+  bool done() const;
+  void wait();
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+/// DAG of stages executed on the global thread pool.
+class StageGraph {
+ public:
+  using StageFn = std::function<void()>;
+
+  StageGraph() = default;
+  StageGraph(const StageGraph&) = delete;
+  StageGraph& operator=(const StageGraph&) = delete;
+
+  /// Add a stage. Dependencies must reference previously added stages
+  /// (ids < the new stage's id), which keeps the graph acyclic by
+  /// construction and makes ascending-id a valid serial schedule.
+  /// Returns the stage id.
+  int add(std::string name, StageFn fn, const std::vector<int>& deps = {});
+
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Completion handle of one stage (valid until the graph is destroyed).
+  Event& stage_done(int id);
+
+  /// Submit all ready stages to the pool and return immediately. Call at
+  /// most once per graph; follow with wait().
+  void launch();
+
+  /// Block until every stage has finished (helping to run queued stages),
+  /// then rethrow the first stage exception, if any.
+  void wait();
+
+  /// Run every stage inline, in ascending id order (the reference
+  /// schedule). Rethrows the first stage exception. Mutually exclusive
+  /// with launch().
+  void run_serial();
+
+  /// launch() + wait() when `async`, else run_serial().
+  void run(bool async);
+
+ private:
+  struct Node {
+    std::string name;
+    StageFn fn;
+    std::vector<int> dependents;
+    int pending = 0;  ///< unfinished dependencies; guarded by mu_
+    Event done;
+  };
+
+  void run_stage(std::size_t id);
+  void finish_stage(std::size_t id);
+
+  // Nodes are stored in a deque so Node addresses (and their Events) stay
+  // stable as stages are added.
+  std::deque<Node> nodes_;
+  std::mutex mu_;                 ///< guards pending counts / error / count
+  std::size_t remaining_ = 0;
+  std::exception_ptr error_;
+  Event all_done_;
+  bool launched_ = false;
+  bool async_mode_ = false;
+};
+
+}  // namespace adaqp::pipeline

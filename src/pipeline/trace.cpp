@@ -1,0 +1,133 @@
+#include "pipeline/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace adaqp::pipeline {
+
+struct TraceRecorder::Impl {
+  std::atomic<bool> enabled{false};
+  mutable std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::map<std::thread::id, int> tids;
+  std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+};
+
+TraceRecorder::TraceRecorder() : impl_(new Impl) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::start() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.clear();
+  impl_->tids.clear();
+  impl_->origin = std::chrono::steady_clock::now();
+  impl_->enabled.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::stop() {
+  impl_->enabled.store(false, std::memory_order_release);
+}
+
+bool TraceRecorder::enabled() const {
+  return impl_->enabled.load(std::memory_order_acquire);
+}
+
+double TraceRecorder::now_us() const {
+  const auto dt = std::chrono::steady_clock::now() - impl_->origin;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+int TraceRecorder::thread_id() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  const auto id = std::this_thread::get_id();
+  auto it = impl_->tids.find(id);
+  if (it != impl_->tids.end()) return it->second;
+  const int tid = static_cast<int>(impl_->tids.size());
+  impl_->tids.emplace(id, tid);
+  return tid;
+}
+
+void TraceRecorder::record(const std::string& name,
+                           const std::string& category, double ts_us,
+                           double dur_us) {
+  if (!enabled()) return;
+  const int tid = thread_id();
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.push_back(TraceEvent{name, category, ts_us, dur_us, tid});
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->events;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->events.size();
+}
+
+namespace {
+
+/// Minimal JSON string escape (stage names are ASCII identifiers, but stay
+/// safe for arbitrary input).
+void write_escaped(std::FILE* f, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\')
+      std::fprintf(f, "\\%c", c);
+    else if (static_cast<unsigned char>(c) < 0x20)
+      std::fprintf(f, "\\u%04x", c);
+    else
+      std::fputc(c, f);
+  }
+}
+
+}  // namespace
+
+bool TraceRecorder::write_json(const std::string& path) const {
+  const std::vector<TraceEvent> evs = events();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& e = evs[i];
+    std::fputs("  {\"name\":\"", f);
+    write_escaped(f, e.name);
+    std::fputs("\",\"cat\":\"", f);
+    write_escaped(f, e.category);
+    std::fprintf(f,
+                 "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                 "\"dur\":%.3f}%s\n",
+                 e.tid, e.ts_us, e.dur_us, i + 1 < evs.size() ? "," : "");
+  }
+  std::fputs("]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+TraceSpan::TraceSpan(std::string name, std::string category)
+    : name_(std::move(name)), category_(std::move(category)) {
+  TraceRecorder& rec = TraceRecorder::instance();
+  if (rec.enabled()) {
+    active_ = true;
+    begin_us_ = rec.now_us();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceRecorder& rec = TraceRecorder::instance();
+  const double end_us = rec.now_us();
+  rec.record(name_, category_, begin_us_, end_us - begin_us_);
+}
+
+}  // namespace adaqp::pipeline

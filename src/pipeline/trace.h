@@ -1,0 +1,83 @@
+// Pipeline trace recorder — Chrome trace_event JSON output.
+//
+// Records one "X" (complete) event per pipeline stage with real wall-clock
+// begin/duration and the executing thread, so the overlap between halo
+// exchange stages and central-subgraph compute is *visible*: load the file
+// in chrome://tracing or https://ui.perfetto.dev and exchange spans sit on
+// different thread rows than the concurrent compute spans.
+//
+// The recorder is a process-wide singleton, disabled by default (a disabled
+// span costs one relaxed atomic load). StageGraph wraps every stage it runs
+// in a TraceSpan automatically; DistTrainer::run() honors the ADAQP_TRACE
+// environment variable (a path) by recording the whole run and writing the
+// JSON there. Event storage is a mutex-guarded vector — stages are
+// coarse-grained (one per device pair or per device per layer), so recording
+// overhead is irrelevant next to the kernels being traced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaqp::pipeline {
+
+/// One completed span, microseconds relative to TraceRecorder::start().
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  /// Begin recording (clears previously captured events, re-zeroes the
+  /// clock and thread-id table).
+  void start();
+  /// Stop recording; captured events stay available for write_json().
+  void stop();
+  bool enabled() const;
+
+  /// Record one completed span (no-op while disabled).
+  void record(const std::string& name, const std::string& category,
+              double ts_us, double dur_us);
+
+  /// Microseconds since start() on the recorder's clock.
+  double now_us() const;
+
+  /// Small dense id for the calling thread (0 = first thread seen).
+  int thread_id();
+
+  std::vector<TraceEvent> events() const;
+  std::size_t event_count() const;
+
+  /// Write the captured events as Chrome trace JSON ({"traceEvents": [...]}).
+  /// Returns false if the file could not be opened.
+  bool write_json(const std::string& path) const;
+
+ private:
+  TraceRecorder();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII span: stamps begin at construction, records on destruction when the
+/// recorder is enabled.
+class TraceSpan {
+ public:
+  TraceSpan(std::string name, std::string category);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  std::string category_;
+  double begin_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace adaqp::pipeline

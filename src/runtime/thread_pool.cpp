@@ -4,9 +4,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace adaqp {
@@ -49,6 +51,10 @@ struct ThreadPool::Impl {
   std::uint64_t epoch = 0;       ///< bumped per submission (wake filter)
   bool stop = false;
 
+  /// Detached tasks (pipeline stages). FIFO; guarded by mu. Batches take
+  /// priority so parallel_for latency is unaffected by queued stages.
+  std::deque<std::function<void()>> detached;
+
   std::vector<std::thread> workers;
 
   /// Claim and run tasks until the batch's ticket counter runs dry; account
@@ -75,19 +81,57 @@ struct ThreadPool::Impl {
     }
   }
 
+  /// Pop one detached task; empty function when the queue is dry.
+  std::function<void()> pop_detached() {
+    std::lock_guard<std::mutex> lk(mu);
+    if (detached.empty()) return {};
+    std::function<void()> fn = std::move(detached.front());
+    detached.pop_front();
+    return fn;
+  }
+
   void worker_loop() {
     std::uint64_t seen_epoch = 0;
     for (;;) {
       std::shared_ptr<Batch> b;
       {
         std::unique_lock<std::mutex> lk(mu);
-        cv_work.wait(lk, [&] { return stop || epoch != seen_epoch; });
+        cv_work.wait(lk, [&] {
+          return stop || epoch != seen_epoch || !detached.empty();
+        });
         if (stop) return;
-        seen_epoch = epoch;
-        b = batch;
+        if (epoch != seen_epoch) {
+          seen_epoch = epoch;
+          b = batch;
+        }
       }
       if (b) work_on_batch(*b);
+      // Drain detached tasks, yielding to a newly submitted batch between
+      // tasks — batch priority holds during the drain, not only at the
+      // wait predicate.
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          if (stop || epoch != seen_epoch) break;
+        }
+        if (!run_one_detached()) break;
+      }
     }
+  }
+
+  /// Run one detached task inline if any is queued. Detached tasks must
+  /// handle their own errors (StageGraph captures them per stage); an
+  /// exception escaping one would otherwise kill the worker thread, so it
+  /// is swallowed here as a last resort.
+  bool run_one_detached() {
+    auto fn = pop_detached();
+    if (!fn) return false;
+    InTaskScope scope;
+    try {
+      fn();
+    } catch (...) {
+    }
+    return true;
   }
 };
 
@@ -109,6 +153,16 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::in_worker() { return t_in_pool_task; }
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->detached.push_back(std::move(fn));
+  }
+  impl_->cv_work.notify_all();
+}
+
+bool ThreadPool::try_run_one_detached() { return impl_->run_one_detached(); }
 
 void ThreadPool::run(std::size_t num_tasks,
                      const std::function<void(std::size_t)>& task) {

@@ -44,6 +44,19 @@ class ThreadPool {
   /// to collapse nested parallel regions).
   static bool in_worker();
 
+  /// Enqueue one detached task. Workers drain the detached queue whenever no
+  /// parallel batch is pending; threads blocked in pipeline::Event::wait()
+  /// help drain it too, so detached work always makes progress even on a
+  /// 1-thread pool (where there are no workers at all). Detached tasks run
+  /// with the in-worker marker set, so nested parallel regions inside them
+  /// collapse to inline execution exactly like batch tasks.
+  void submit(std::function<void()> fn);
+
+  /// Pop and run one pending detached task on the calling thread. Returns
+  /// false when the queue is empty (a task currently *running* elsewhere is
+  /// not pending). This is the help primitive behind pipeline::Event::wait.
+  bool try_run_one_detached();
+
  private:
   struct Impl;
   Impl* impl_ = nullptr;

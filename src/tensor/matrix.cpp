@@ -109,6 +109,39 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   });
 }
 
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c,
+               std::span<const std::uint32_t> rows) {
+  ADAQP_CHECK_MSG(a.cols() == b.rows(), "gemm_rows: inner dims "
+                                            << a.cols() << " vs " << b.rows());
+  ADAQP_CHECK_MSG(c.rows() == a.rows() && c.cols() == b.cols(),
+                  "gemm_rows: C must be pre-sized");
+  const std::size_t k = a.cols(), n = b.cols();
+  // Same (j, k) tiling and per-element k-ascending accumulation as gemm,
+  // applied to the selected rows only; bands over `rows` write disjoint C
+  // rows, so any thread count is bit-identical to serial.
+  parallel_for(rows.size(), kRowGrain, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t idx = r0; idx < r1; ++idx) {
+      const std::size_t i = rows[idx];
+      ADAQP_CHECK(i < a.rows());
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+      const float* arow = a.data() + i * k;
+      for (std::size_t jj = 0; jj < n; jj += kBlockN) {
+        const std::size_t jhi = std::min(jj + kBlockN, n);
+        for (std::size_t pp = 0; pp < k; pp += kBlockK) {
+          const std::size_t phi = std::min(pp + kBlockK, k);
+          for (std::size_t p = pp; p < phi; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            const float* brow = b.data() + p * n;
+            for (std::size_t j = jj; j < jhi; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  });
+}
+
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
   ADAQP_CHECK_MSG(a.rows() == b.rows(),
                   "gemm_tn: shared dim " << a.rows() << " vs " << b.rows());
@@ -174,22 +207,29 @@ void relu_backward(const Matrix& in, const Matrix& grad_out, Matrix& grad_in) {
     grad_in.data()[i] = in.data()[i] > 0.0f ? grad_out.data()[i] : 0.0f;
 }
 
-void dropout_forward(const Matrix& in, float p, Rng& rng, Matrix& out,
-                     Matrix& mask) {
+void dropout_mask(std::size_t rows, std::size_t cols, float p, Rng& rng,
+                  Matrix& mask) {
   ADAQP_CHECK_MSG(p >= 0.0f && p < 1.0f, "dropout p=" << p);
-  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
-  if (!mask.same_shape(in)) mask = Matrix(in.rows(), in.cols());
+  if (mask.rows() != rows || mask.cols() != cols) mask = Matrix(rows, cols);
   if (p == 0.0f) {
     mask.fill(1.0f);
-    std::copy(in.data(), in.data() + in.size(), out.data());
     return;
   }
   const float keep_scale = 1.0f / (1.0f - p);
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const float m = rng.uniform_float() < p ? 0.0f : keep_scale;
-    mask.data()[i] = m;
-    out.data()[i] = in.data()[i] * m;
+  for (std::size_t i = 0; i < mask.size(); ++i)
+    mask.data()[i] = rng.uniform_float() < p ? 0.0f : keep_scale;
+}
+
+void dropout_forward(const Matrix& in, float p, Rng& rng, Matrix& out,
+                     Matrix& mask) {
+  dropout_mask(in.rows(), in.cols(), p, rng, mask);
+  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
+  if (p == 0.0f) {
+    std::copy(in.data(), in.data() + in.size(), out.data());
+    return;
   }
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out.data()[i] = in.data()[i] * mask.data()[i];
 }
 
 void dropout_backward(const Matrix& grad_out, const Matrix& mask,

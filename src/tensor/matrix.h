@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -96,6 +97,13 @@ class Matrix {
 
 /// C = A * B             (m x k) * (k x n)
 void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+/// Row-subset product: C[r,:] = (A * B)[r,:] for each r in `rows`; other
+/// rows of C are untouched. C must be pre-sized to (A.rows x B.cols). Each
+/// computed row uses the same tiling and k-ascending accumulation as gemm,
+/// so it is bit-identical to the corresponding row of the full product —
+/// the property the pipeline's central/marginal forward split rests on.
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c,
+               std::span<const std::uint32_t> rows);
 /// C = A^T * B           (k x m)^T * (k x n)
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c);
 /// C = A * B^T           (m x k) * (n x k)^T
@@ -107,6 +115,14 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
 void relu_forward(const Matrix& in, Matrix& out);
 /// grad_in = grad_out ⊙ 1[in > 0].
 void relu_backward(const Matrix& in, const Matrix& grad_out, Matrix& grad_in);
+
+/// Draw an inverted-dropout multiplier mask (0 with prob p, else 1/(1-p))
+/// for a rows x cols matrix, consuming rng in row-major element order — the
+/// exact draws dropout_forward makes. Masks are value-independent, so the
+/// pipeline pre-draws them and applies them per row subset without changing
+/// the RNG stream.
+void dropout_mask(std::size_t rows, std::size_t cols, float p, Rng& rng,
+                  Matrix& mask);
 
 /// Inverted dropout: zero each element with prob p and scale survivors by
 /// 1/(1-p); `mask` records the applied multiplier for the backward pass.
