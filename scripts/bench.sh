@@ -28,12 +28,16 @@ OVERLAP_ARGS=()
 
 if [[ ! -x "$BUILD_DIR/bench_table4_main" ||
       ! -x "$BUILD_DIR/bench_table7_scalability" ||
-      ! -x "$BUILD_DIR/bench_pipeline_overlap" ]]; then
+      ! -x "$BUILD_DIR/bench_pipeline_overlap" ||
+      ! -x "$BUILD_DIR/isa_info" ]]; then
   cmake -B "$BUILD_DIR" -S . >/dev/null
   cmake --build "$BUILD_DIR" -j \
     --target bench_table4_main bench_table7_scalability \
-             bench_pipeline_overlap >/dev/null
+             bench_pipeline_overlap isa_info >/dev/null
 fi
+
+# SIMD ISA the kernel registry dispatches to for this run (honors ADAQP_ISA).
+SIMD_ISA=$("./$BUILD_DIR/isa_info" 2>/dev/null || echo unknown)
 
 mkdir -p bench/out
 
@@ -107,6 +111,7 @@ run_record=$(cat <<EOF
 {
  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
  "host_hardware_threads": $(nproc),
+ "simd_isa": "$SIMD_ISA",
  "git_rev": "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)",
  "table7_wall_speedup_vs_1_thread": {${speedups}},
  "entries": [${entries}]

@@ -13,6 +13,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "partition/partitioner.h"
+#include "runtime/parallel_for.h"
 
 namespace adaqp {
 namespace {
@@ -95,30 +96,67 @@ CoarsenStep coarsen_once(const WGraph& g, Rng& rng) {
     ++next;
   }
 
-  // Accumulate coarse adjacency with a per-node hash map.
+  // Coarse-graph construction — the O(E) sweep that dominates coarsening —
+  // runs coarse-node-parallel on the runtime pool. Bit-identical to the old
+  // serial whole-graph sweep: every contribution to coarse node cv comes
+  // from cv's own fine members, so accumulating members in ascending fine
+  // id replays the exact per-(cv, cu) double-addition order the serial
+  // v-ascending sweep produced, and each task writes only its own rows.
+  // (The matching scan above stays serial: each match decision depends on
+  // every earlier one.)
   const std::size_t cn = next;
-  std::vector<std::unordered_map<NodeId, double>> acc(cn);
-  std::vector<double> cw(cn, 0.0);
-  for (NodeId v = 0; v < n; ++v) {
-    const NodeId cv = step.fine_to_coarse[v];
-    cw[cv] += g.node_weight[v];
-    for (const auto& [u, w] : g.neighbors(v)) {
-      const NodeId cu = step.fine_to_coarse[u];
-      if (cu == cv) continue;  // interior edge collapses
-      acc[cv][cu] += w;
-    }
+
+  // Invert fine_to_coarse into member lists, ascending fine id per node.
+  std::vector<std::size_t> member_off(cn + 1, 0);
+  for (NodeId v = 0; v < n; ++v) ++member_off[step.fine_to_coarse[v] + 1];
+  for (std::size_t c = 0; c < cn; ++c) member_off[c + 1] += member_off[c];
+  std::vector<NodeId> members(n);
+  {
+    std::vector<std::size_t> cursor(member_off.begin(), member_off.end() - 1);
+    for (NodeId v = 0; v < n; ++v)
+      members[cursor[step.fine_to_coarse[v]]++] = v;
   }
+
+  std::vector<std::vector<std::pair<NodeId, double>>> rows(cn);
+  std::vector<double> cw(cn, 0.0);
+  parallel_for(cn, 64, [&](std::size_t c0, std::size_t c1) {
+    std::unordered_map<NodeId, double> acc;  // reused across this band
+    std::vector<NodeId> order;               // first-touch order of cu keys
+    for (std::size_t cv = c0; cv < c1; ++cv) {
+      acc.clear();
+      order.clear();
+      double weight = 0.0;
+      for (std::size_t m = member_off[cv]; m < member_off[cv + 1]; ++m) {
+        const NodeId v = members[m];
+        weight += g.node_weight[v];
+        for (const auto& [u, w] : g.neighbors(v)) {
+          const NodeId cu = step.fine_to_coarse[u];
+          if (cu == static_cast<NodeId>(cv)) continue;  // interior edge
+          const auto [it, inserted] = acc.try_emplace(cu, 0.0);
+          if (inserted) order.push_back(cu);
+          it->second += w;
+        }
+      }
+      cw[cv] = weight;
+      auto& row = rows[cv];
+      row.reserve(order.size());
+      for (NodeId cu : order) row.emplace_back(cu, acc[cu]);
+      std::sort(row.begin(), row.end());
+    }
+  });
+
   step.coarse.node_weight = std::move(cw);
   step.coarse.offsets.resize(cn + 1);
   step.coarse.offsets[0] = 0;
-  for (std::size_t v = 0; v < cn; ++v) {
-    for (const auto& [u, w] : acc[v]) step.coarse.adj.emplace_back(u, w);
-    // sort for determinism across unordered_map iteration order
-    std::sort(step.coarse.adj.begin() +
-                  static_cast<std::ptrdiff_t>(step.coarse.offsets[v]),
-              step.coarse.adj.end());
-    step.coarse.offsets[v + 1] = step.coarse.adj.size();
-  }
+  for (std::size_t v = 0; v < cn; ++v)
+    step.coarse.offsets[v + 1] = step.coarse.offsets[v] + rows[v].size();
+  step.coarse.adj.resize(step.coarse.offsets[cn]);
+  parallel_for(cn, 64, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t v = c0; v < c1; ++v)
+      std::copy(rows[v].begin(), rows[v].end(),
+                step.coarse.adj.begin() +
+                    static_cast<std::ptrdiff_t>(step.coarse.offsets[v]));
+  });
   return step;
 }
 
@@ -342,7 +380,9 @@ PartitionResult MultilevelPartitioner::partition(const Graph& g, int num_parts,
   for (std::size_t lvl = levels.size(); lvl-- > 1;) {
     const auto& map = maps[lvl - 1];
     std::vector<int> finer(levels[lvl - 1].n());
-    for (std::size_t v = 0; v < finer.size(); ++v) finer[v] = part[map[v]];
+    parallel_for(finer.size(), 1024, [&](std::size_t v0, std::size_t v1) {
+      for (std::size_t v = v0; v < v1; ++v) finer[v] = part[map[v]];
+    });
     part = std::move(finer);
     refine(levels[lvl - 1], part, num_parts, opts_.max_imbalance,
            opts_.refine_passes);

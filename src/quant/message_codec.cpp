@@ -17,12 +17,6 @@ void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   std::memcpy(out.data() + at, &v, 4);
 }
 
-void put_f32(std::vector<std::uint8_t>& out, float v) {
-  const std::size_t at = out.size();
-  out.resize(at + 4);
-  std::memcpy(out.data() + at, &v, 4);
-}
-
 std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t& pos) {
   ADAQP_CHECK_MSG(pos + 4 <= bytes.size(), "codec: truncated u32 at " << pos);
   std::uint32_t v;
@@ -47,18 +41,24 @@ EncodedBlock encode_rows(const Matrix& src, std::span<const NodeId> rows,
                   "rows/bits arity mismatch: " << rows.size() << " vs "
                                                << bits.size());
   EncodedBlock block;
+  block.bytes.reserve(encoded_wire_bytes(rows.size(), src.cols(), bits));
   put_u32(block.bytes, kMagic);
   put_u32(block.bytes, static_cast<std::uint32_t>(rows.size()));
   put_u32(block.bytes, static_cast<std::uint32_t>(src.cols()));
   for (std::size_t i = 0; i < rows.size(); ++i) {
     ADAQP_CHECK_MSG(rows[i] < src.rows(),
                     "row " << rows[i] << " out of range " << src.rows());
-    const QuantizedVector qv = quantize(src.row(rows[i]), bits[i], rng);
-    block.bytes.push_back(static_cast<std::uint8_t>(qv.bits));
-    put_f32(block.bytes, qv.zero_point);
-    put_f32(block.bytes, qv.scale);
-    block.bytes.insert(block.bytes.end(), qv.payload.begin(),
-                       qv.payload.end());
+    block.bytes.push_back(static_cast<std::uint8_t>(bits[i]));
+    // Reserve the (zero-point, scale) slots, quantize+pack straight into
+    // the block (no QuantizedVector temporary), then backfill the metadata.
+    const std::size_t meta_at = block.bytes.size();
+    block.bytes.resize(meta_at + 2 * sizeof(float));
+    const QuantMeta meta =
+        quantize_append(src.row(rows[i]), bits[i], rng, block.bytes);
+    std::memcpy(block.bytes.data() + meta_at, &meta.zero_point,
+                sizeof(float));
+    std::memcpy(block.bytes.data() + meta_at + sizeof(float), &meta.scale,
+                sizeof(float));
   }
   return block;
 }
@@ -77,24 +77,23 @@ void decode_rows(const EncodedBlock& block, Matrix& dst,
                   "codec: dim " << dim << " != dst cols " << dst.cols());
   for (std::size_t i = 0; i < count; ++i) {
     ADAQP_CHECK_MSG(pos < bytes.size(), "codec: truncated header for row " << i);
-    QuantizedVector qv;
-    qv.bits = bytes[pos++];
-    ADAQP_CHECK_MSG(is_valid_bit_width(qv.bits),
-                    "codec: invalid bit-width tag " << qv.bits);
-    qv.zero_point = get_f32(bytes, pos);
-    qv.scale = get_f32(bytes, pos);
-    qv.dim = dim;
+    const int row_bits = bytes[pos++];
+    ADAQP_CHECK_MSG(is_valid_bit_width(row_bits),
+                    "codec: invalid bit-width tag " << row_bits);
+    const float zero_point = get_f32(bytes, pos);
+    const float scale = get_f32(bytes, pos);
     const std::size_t payload =
-        qv.bits == 32 ? dim * sizeof(float)
-                      : (static_cast<std::size_t>(dim) * qv.bits + 7) / 8;
+        row_bits == 32 ? dim * sizeof(float)
+                       : (static_cast<std::size_t>(dim) * row_bits + 7) / 8;
     ADAQP_CHECK_MSG(pos + payload <= bytes.size(),
                     "codec: truncated payload for row " << i);
-    qv.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
-                      bytes.begin() + static_cast<std::ptrdiff_t>(pos + payload));
-    pos += payload;
     ADAQP_CHECK_MSG(dst_rows[i] < dst.rows(),
                     "codec: dst row " << dst_rows[i] << " out of range");
-    dequantize(qv, dst.row(dst_rows[i]));
+    // Unpack + dequantize straight from the wire bytes into the
+    // destination row — no payload copy, vector kernel under the hood.
+    dequantize_payload(bytes.data() + pos, row_bits, dim, zero_point, scale,
+                       dst.row(dst_rows[i]));
+    pos += payload;
   }
   ADAQP_CHECK_MSG(pos == bytes.size(),
                   "codec: " << bytes.size() - pos << " trailing bytes");

@@ -1,12 +1,18 @@
 #include "quant/quantize.h"
 
-#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
 
 #include "common/check.h"
+#include "simd/kernels.h"
 
+// All hot loops (min/max scan, stochastic-round quantize + pack, unpack +
+// dequantize, raw bit packing) dispatch through the src/simd/ kernel
+// registry; the scalar table entry is the reference implementation and the
+// vector variants are byte-identical by contract (see simd/kernels.h).
+// RNG draws stay in this wrapper, serial and in element order, so the
+// stream an encode consumes is independent of the dispatched ISA.
 namespace adaqp {
 
 bool is_valid_bit_width(int bits) {
@@ -23,14 +29,12 @@ std::vector<std::uint8_t> pack_bits(std::span<const std::uint32_t> values,
                                     int bits) {
   ADAQP_CHECK(bits == 2 || bits == 4 || bits == 8);
   const std::uint32_t mask = (1u << bits) - 1u;
-  std::vector<std::uint8_t> out((values.size() * bits + 7) / 8, 0);
-  for (std::size_t i = 0; i < values.size(); ++i) {
+  for (std::size_t i = 0; i < values.size(); ++i)
     ADAQP_CHECK_MSG(values[i] <= mask,
                     "value " << values[i] << " exceeds " << bits << "-bit range");
-    const std::size_t bit_pos = i * static_cast<std::size_t>(bits);
-    out[bit_pos / 8] |=
-        static_cast<std::uint8_t>(values[i] << (bit_pos % 8));
-  }
+  std::vector<std::uint8_t> out((values.size() * bits + 7) / 8);
+  if (!values.empty())
+    simd::kernels().pack_bits(bits, values.data(), values.size(), out.data());
   return out;
 }
 
@@ -40,14 +44,48 @@ std::vector<std::uint32_t> unpack_bits(std::span<const std::uint8_t> packed,
   ADAQP_CHECK_MSG(packed.size() >= (count * bits + 7) / 8,
                   "packed stream too short: " << packed.size() << " bytes for "
                                               << count << " x " << bits << "b");
-  const std::uint32_t mask = (1u << bits) - 1u;
   std::vector<std::uint32_t> out(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::size_t bit_pos = i * static_cast<std::size_t>(bits);
-    out[i] = (packed[bit_pos / 8] >> (bit_pos % 8)) & mask;
-  }
+  if (count > 0)
+    simd::kernels().unpack_bits(bits, packed.data(), count, out.data());
   return out;
 }
+
+namespace {
+
+/// Uniform draws for stochastic rounding, one per element in element order
+/// — exactly the draws the pre-registry scalar loop made, so RNG streams
+/// are unchanged. thread_local: encodes run concurrently per pair.
+std::span<const float> draw_uniforms(std::size_t n, Rng& rng) {
+  thread_local std::vector<float> u;
+  if (u.size() < n) u.resize(n);
+  for (std::size_t i = 0; i < n; ++i) u[i] = rng.uniform_float();
+  return {u.data(), n};
+}
+
+QuantMeta quantize_payload(std::span<const float> values, int bits, Rng& rng,
+                           std::uint8_t* payload) {
+  const auto& kernel = simd::kernels();
+  float lo = 0.0f, hi = 0.0f;
+  if (!values.empty())
+    kernel.row_minmax(values.data(), values.size(), &lo, &hi);
+  // Normalize the sign of zero: which of -0.0f/+0.0f a min/max reduction
+  // returns depends on lane order, and the zero point goes on the wire.
+  // x + 0.0f maps -0.0f to +0.0f and leaves every other value unchanged.
+  lo += 0.0f;
+  hi += 0.0f;
+  QuantMeta meta;
+  meta.zero_point = lo;
+  const auto levels = static_cast<float>((1u << bits) - 1u);
+  meta.scale = (hi - lo) / levels;
+  if (meta.scale > 0.0f) {
+    const auto u = draw_uniforms(values.size(), rng);
+    kernel.quantize_pack(bits, values.data(), values.size(), meta.zero_point,
+                         meta.scale, u.data(), payload);
+  }
+  return meta;
+}
+
+}  // namespace
 
 QuantizedVector quantize(std::span<const float> values, int bits, Rng& rng) {
   ADAQP_CHECK(is_valid_bit_width(bits));
@@ -61,31 +99,41 @@ QuantizedVector quantize(std::span<const float> values, int bits, Rng& rng) {
     return qv;
   }
 
-  float lo = std::numeric_limits<float>::infinity();
-  float hi = -std::numeric_limits<float>::infinity();
-  for (float v : values) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-  }
-  if (values.empty()) lo = hi = 0.0f;
-  qv.zero_point = lo;
-  const auto levels = static_cast<float>((1u << bits) - 1u);
-  qv.scale = (hi - lo) / levels;
-
-  std::vector<std::uint32_t> q(values.size(), 0);
-  if (qv.scale > 0.0f) {
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      const float x = (values[i] - qv.zero_point) / qv.scale;
-      // Stochastic rounding: up with probability frac(x).
-      const float fl = std::floor(x);
-      const float frac = x - fl;
-      float r = fl + (rng.uniform_float() < frac ? 1.0f : 0.0f);
-      r = std::clamp(r, 0.0f, levels);
-      q[i] = static_cast<std::uint32_t>(r);
-    }
-  }
-  qv.payload = pack_bits(q, bits);
+  qv.payload.assign((values.size() * static_cast<std::size_t>(bits) + 7) / 8,
+                    0);
+  const QuantMeta meta = quantize_payload(values, bits, rng,
+                                          qv.payload.data());
+  qv.zero_point = meta.zero_point;
+  qv.scale = meta.scale;
   return qv;
+}
+
+QuantMeta quantize_append(std::span<const float> values, int bits, Rng& rng,
+                          std::vector<std::uint8_t>& out) {
+  ADAQP_CHECK(is_valid_bit_width(bits));
+  const std::size_t at = out.size();
+  if (bits == 32) {
+    out.resize(at + values.size() * sizeof(float));
+    std::memcpy(out.data() + at, values.data(), values.size() * sizeof(float));
+    return {};
+  }
+  out.resize(at + (values.size() * static_cast<std::size_t>(bits) + 7) / 8,
+             0);
+  return quantize_payload(values, bits, rng, out.data() + at);
+}
+
+void dequantize_payload(const std::uint8_t* payload, int bits,
+                        std::size_t dim, float zero_point, float scale,
+                        std::span<float> out) {
+  ADAQP_CHECK_MSG(out.size() == dim,
+                  "dequantize into " << out.size() << " floats, dim=" << dim);
+  if (bits == 32) {
+    std::memcpy(out.data(), payload, dim * sizeof(float));
+    return;
+  }
+  if (dim > 0)
+    simd::kernels().unpack_dequant(bits, payload, dim, scale, zero_point,
+                                   out.data());
 }
 
 void dequantize(const QuantizedVector& qv, std::span<float> out) {
@@ -94,12 +142,15 @@ void dequantize(const QuantizedVector& qv, std::span<float> out) {
   if (qv.bits == 32) {
     ADAQP_CHECK_MSG(qv.payload.size() == qv.dim * sizeof(float),
                     "corrupt float payload: " << qv.payload.size() << " bytes");
-    std::memcpy(out.data(), qv.payload.data(), qv.payload.size());
-    return;
+  } else {
+    ADAQP_CHECK_MSG(qv.payload.size() >=
+                        (qv.dim * static_cast<std::size_t>(qv.bits) + 7) / 8,
+                    "packed stream too short: " << qv.payload.size()
+                                                << " bytes for " << qv.dim
+                                                << " x " << qv.bits << "b");
   }
-  const auto q = unpack_bits(qv.payload, qv.bits, qv.dim);
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = static_cast<float>(q[i]) * qv.scale + qv.zero_point;
+  dequantize_payload(qv.payload.data(), qv.bits, qv.dim, qv.zero_point,
+                     qv.scale, out);
 }
 
 double variance_bound(const QuantizedVector& qv) {

@@ -43,6 +43,26 @@ std::size_t quantized_wire_bytes(std::size_t dim, int bits);
 /// Quantize `values` with stochastic rounding (Eqn. 4).
 QuantizedVector quantize(std::span<const float> values, int bits, Rng& rng);
 
+/// (zero-point, scale) metadata of one quantized vector.
+struct QuantMeta {
+  float zero_point = 0.0f;
+  float scale = 0.0f;
+};
+
+/// Quantize `values` and append the packed payload to `out` in place — the
+/// allocation-free form the wire codec uses to build blocks without a
+/// QuantizedVector temporary. Returns the (zero-point, scale) metadata.
+/// Byte-for-byte the payload quantize() would produce.
+QuantMeta quantize_append(std::span<const float> values, int bits, Rng& rng,
+                          std::vector<std::uint8_t>& out);
+
+/// Dequantize `dim` values packed at `bits` directly from a wire payload
+/// (Eqn. 5) — the in-place form decode_rows uses. `payload` must hold the
+/// exact payload size; validation is the caller's job.
+void dequantize_payload(const std::uint8_t* payload, int bits,
+                        std::size_t dim, float zero_point, float scale,
+                        std::span<float> out);
+
 /// De-quantize into `out` (Eqn. 5). out.size() must equal qv.dim.
 void dequantize(const QuantizedVector& qv, std::span<float> out);
 

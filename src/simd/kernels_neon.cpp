@@ -1,0 +1,71 @@
+// NEON stub (aarch64). Dispatch plumbing only for now: the min/max scan and
+// the GEMM axpy microkernel are implemented 4-wide; the codec kernels are
+// left null so the registry backfills them with the scalar reference
+// (byte-identity is then trivial). Filling in the codec kernels is a
+// ROADMAP follow-on. NEON is baseline on aarch64, so no -m flags and no
+// runtime feature check are needed; -ffp-contract=off still matters (the
+// aarch64 compiler would otherwise fuse the axpy multiply-add).
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.h"
+
+namespace adaqp::simd {
+namespace {
+
+void row_minmax(const float* x, std::size_t n, float* lo, float* hi) {
+  std::size_t i = 0;
+  float l = x[0], h = x[0];
+  if (n >= 4) {
+    float32x4_t vlo = vld1q_f32(x);
+    float32x4_t vhi = vlo;
+    for (i = 4; i + 4 <= n; i += 4) {
+      const float32x4_t v = vld1q_f32(x + i);
+      vlo = vminq_f32(vlo, v);
+      vhi = vmaxq_f32(vhi, v);
+    }
+    l = vminvq_f32(vlo);
+    h = vmaxvq_f32(vhi);
+  }
+  for (; i < n; ++i) {
+    if (x[i] < l) l = x[i];
+    if (x[i] > h) h = x[i];
+  }
+  *lo = l;
+  *hi = h;
+}
+
+void axpy(float a, const float* b, float* c, std::size_t n) {
+  const float32x4_t va = vdupq_n_f32(a);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    // Explicit mul then add (not vfmaq) to match the unfused scalar path.
+    const float32x4_t p = vmulq_f32(va, vld1q_f32(b + j));
+    vst1q_f32(c + j, vaddq_f32(vld1q_f32(c + j), p));
+  }
+  for (; j < n; ++j) c[j] += a * b[j];
+}
+
+const KernelTable kTable = {
+    row_minmax, nullptr, nullptr, nullptr, nullptr, axpy,
+};
+
+}  // namespace
+
+const KernelTable* neon_kernels() { return &kTable; }
+
+}  // namespace adaqp::simd
+
+#else  // non-aarch64: variant not built
+
+#include "simd/kernels.h"
+
+namespace adaqp::simd {
+const KernelTable* neon_kernels() { return nullptr; }
+}  // namespace adaqp::simd
+
+#endif

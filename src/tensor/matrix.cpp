@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "runtime/parallel_for.h"
+#include "simd/kernels.h"
 
 namespace adaqp {
 
@@ -56,13 +57,18 @@ float Matrix::max_abs() const {
 
 void Matrix::add_inplace(const Matrix& other) {
   ADAQP_CHECK(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  // axpy with a == 1.0f: 1.0f * x is exactly x, so this matches the old
+  // plain addition bit for bit.
+  if (!data_.empty())
+    simd::kernels().axpy(1.0f, other.data_.data(), data_.data(),
+                         data_.size());
 }
 
 void Matrix::axpy_inplace(float alpha, const Matrix& other) {
   ADAQP_CHECK(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i)
-    data_[i] += alpha * other.data_[i];
+  if (!data_.empty())
+    simd::kernels().axpy(alpha, other.data_.data(), data_.data(),
+                         data_.size());
 }
 
 void Matrix::scale_inplace(float alpha) {
@@ -70,11 +76,15 @@ void Matrix::scale_inplace(float alpha) {
 }
 
 // GEMM kernels are cache-blocked over (j, k) tiles and parallelized over
-// row bands of C on the runtime's thread pool. Every element C[i][j]
-// accumulates its k products in ascending-k order regardless of tile and
-// band boundaries, so results are bit-identical for every thread count (and
-// to the previous unblocked ikj kernels). Adequate for the matrix sizes in
-// this library without pulling in a BLAS dependency.
+// row bands of C on the runtime's thread pool; the innermost j-loop is the
+// src/simd/ axpy microkernel (runtime-dispatched scalar/SSE/AVX2/AVX-512).
+// Every element C[i][j] accumulates its k products in ascending-k order
+// regardless of tile, band and vector-lane boundaries, and axpy is unfused
+// mul-then-add on every ISA, so results are bit-identical for every thread
+// count and ISA (and to the previous unblocked ikj kernels). gemm_nt's
+// inner loop is a k-reduction per element; vectorizing it would reorder the
+// accumulation, so it stays scalar. Adequate for the matrix sizes in this
+// library without pulling in a BLAS dependency.
 namespace {
 
 constexpr std::size_t kRowGrain = 8;    ///< min C rows per parallel band
@@ -89,6 +99,7 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
   else c.set_zero();
+  const auto axpy = simd::kernels().axpy;
   parallel_for(m, kRowGrain, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t jj = 0; jj < n; jj += kBlockN) {
       const std::size_t jhi = std::min(jj + kBlockN, n);
@@ -101,7 +112,7 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
             const float av = arow[p];
             if (av == 0.0f) continue;
             const float* brow = b.data() + p * n;
-            for (std::size_t j = jj; j < jhi; ++j) crow[j] += av * brow[j];
+            axpy(av, brow + jj, crow + jj, jhi - jj);
           }
         }
       }
@@ -119,6 +130,7 @@ void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c,
   // Same (j, k) tiling and per-element k-ascending accumulation as gemm,
   // applied to the selected rows only; bands over `rows` write disjoint C
   // rows, so any thread count is bit-identical to serial.
+  const auto axpy = simd::kernels().axpy;
   parallel_for(rows.size(), kRowGrain, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t idx = r0; idx < r1; ++idx) {
       const std::size_t i = rows[idx];
@@ -134,7 +146,7 @@ void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c,
             const float av = arow[p];
             if (av == 0.0f) continue;
             const float* brow = b.data() + p * n;
-            for (std::size_t j = jj; j < jhi; ++j) crow[j] += av * brow[j];
+            axpy(av, brow + jj, crow + jj, jhi - jj);
           }
         }
       }
@@ -148,6 +160,7 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
   else c.set_zero();
+  const auto axpy = simd::kernels().axpy;
   parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t jj = 0; jj < n; jj += kBlockN) {
       const std::size_t jhi = std::min(jj + kBlockN, n);
@@ -159,8 +172,7 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
           for (std::size_t i = i0; i < i1; ++i) {
             const float av = arow[i];
             if (av == 0.0f) continue;
-            float* crow = c.data() + i * n;
-            for (std::size_t j = jj; j < jhi; ++j) crow[j] += av * brow[j];
+            axpy(av, brow + jj, c.data() + i * n + jj, jhi - jj);
           }
         }
       }

@@ -55,6 +55,31 @@ TEST(Codec, WireBytesMatchPrediction) {
   EXPECT_EQ(block.wire_bytes(), encoded_wire_bytes(3, 24, bits));
 }
 
+// The bit-width assigner's time objective prices transfers with
+// encoded_wire_bytes() and the simulator charges the bytes encode_rows()
+// actually produces; the two must agree exactly for every ragged dim and
+// bit-width mix (partial trailing bytes, empty rows, 32-bit passthrough).
+TEST(Codec, PredictedBytesExactForRaggedDimsAndAllBitMixes) {
+  Rng rng(17);
+  const std::vector<std::vector<int>> mixes = {
+      {2},          {4},          {8},           {32},
+      {2, 4, 8},    {8, 8, 2, 4}, {32, 2, 32, 4}, {4, 2, 2, 8, 32, 2},
+  };
+  for (std::size_t dim : {1ul, 2ul, 3ul, 5ul, 7ul, 9ul, 13ul, 16ul, 17ul,
+                          31ul, 33ul, 64ul, 65ul, 127ul}) {
+    Matrix src = random_matrix(8, dim, rng);
+    for (const auto& bits : mixes) {
+      std::vector<NodeId> rows(bits.size());
+      for (std::size_t i = 0; i < rows.size(); ++i)
+        rows[i] = static_cast<NodeId>(i);
+      const EncodedBlock block = encode_rows(src, rows, bits, rng);
+      EXPECT_EQ(block.wire_bytes(),
+                encoded_wire_bytes(rows.size(), dim, bits))
+          << "dim=" << dim << " mix size=" << bits.size();
+    }
+  }
+}
+
 TEST(Codec, SmallerBitsSmallerBlocks) {
   Rng rng(4);
   Matrix src = random_matrix(16, 64, rng);

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "partition/partitioner.h"
+#include "runtime/thread_pool.h"
 
 namespace adaqp {
 namespace {
@@ -92,6 +93,31 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{"ldg", 2}, Case{"ldg", 4}, Case{"ldg", 8},
                       Case{"multilevel", 2}, Case{"multilevel", 4},
                       Case{"multilevel", 8}));
+
+// The coarsening sweep (coarse-graph construction + projection) runs on the
+// runtime pool; the decomposition is per-coarse-node with fixed
+// accumulation order, so any thread count must reproduce the serial
+// assignment exactly — node for node, not just cut-for-cut.
+TEST(Multilevel, CoarseningBitIdenticalAcrossThreadCounts) {
+  DcSbmParams params;
+  params.num_nodes = 3000;
+  params.num_blocks = 6;
+  params.avg_degree = 14.0;
+  Rng data_rng(47);
+  DcSbm sbm = dc_sbm(params, data_rng);
+  const int prev = num_threads();
+  set_num_threads(1);
+  Rng rng1(123);
+  const auto serial = MultilevelPartitioner().partition(sbm.graph, 4, rng1);
+  for (int threads : {2, 4, 8}) {
+    set_num_threads(threads);
+    Rng rngN(123);
+    const auto parallel =
+        MultilevelPartitioner().partition(sbm.graph, 4, rngN);
+    EXPECT_EQ(parallel.part_of, serial.part_of) << threads << " threads";
+  }
+  set_num_threads(prev);
+}
 
 TEST(Multilevel, BeatsRandomCutOnCommunityGraph) {
   Rng rng(31);
