@@ -30,55 +30,6 @@ using namespace adaqp::bench;
 
 namespace {
 
-/// Seconds covered by the union of [begin, end) microsecond intervals.
-double union_seconds(std::vector<std::pair<double, double>> iv) {
-  std::sort(iv.begin(), iv.end());
-  double total = 0.0, cur_b = 0.0, cur_e = -1.0;
-  for (const auto& [b, e] : iv) {
-    if (b > cur_e) {
-      if (cur_e > cur_b) total += cur_e - cur_b;
-      cur_b = b;
-      cur_e = e;
-    } else {
-      cur_e = std::max(cur_e, e);
-    }
-  }
-  if (cur_e > cur_b) total += cur_e - cur_b;
-  return total * 1e-6;
-}
-
-/// Seconds where both interval sets are simultaneously active.
-double intersection_seconds(const std::vector<std::pair<double, double>>& a,
-                            const std::vector<std::pair<double, double>>& b) {
-  // Coordinate sweep over activity counters of both sets.
-  struct Edge {
-    double t;
-    int set;   // 0 = a, 1 = b
-    int delta; // +1 open, -1 close
-  };
-  std::vector<Edge> edges;
-  edges.reserve(2 * (a.size() + b.size()));
-  for (const auto& [s, e] : a) {
-    edges.push_back({s, 0, 1});
-    edges.push_back({e, 0, -1});
-  }
-  for (const auto& [s, e] : b) {
-    edges.push_back({s, 1, 1});
-    edges.push_back({e, 1, -1});
-  }
-  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
-    return x.t < y.t || (x.t == y.t && x.delta < y.delta);
-  });
-  double total = 0.0, prev = 0.0;
-  int active[2] = {0, 0};
-  for (const Edge& ed : edges) {
-    if (active[0] > 0 && active[1] > 0) total += ed.t - prev;
-    active[ed.set] += ed.delta;
-    prev = ed.t;
-  }
-  return total * 1e-6;
-}
-
 double wall_run(const Dataset& ds, const std::string& setting, int epochs,
                 bool async, RunResult* out) {
   pipeline::AsyncModeGuard mode(async);
@@ -128,21 +79,27 @@ int main(int argc, char** argv) {
     std::printf("WARNING: could not write %s\n", trace_path.c_str());
 
   // Classify stage spans: exchange work (forward pairs + backward
-  // encode/accumulate) vs central compute vs marginal compute.
+  // encode/accumulate) vs *forward* central/marginal compute. The backward
+  // row-subset adjoints ("L<l>b/central/..." etc.) are deliberately
+  // excluded so this metric stays comparable across BENCH_runtime.json
+  // history; bench_table2_overlap_headroom part 2 measures the backward
+  // overlap separately.
   std::vector<std::pair<double, double>> exchange_iv, central_iv, marginal_iv;
   for (const auto& e : rec.events()) {
     const auto iv = std::make_pair(e.ts_us, e.ts_us + e.dur_us);
+    const bool backward = e.name.find("b/") != std::string::npos;
     if (e.name.rfind("fwd/", 0) == 0 || e.name.rfind("bwd-", 0) == 0)
       exchange_iv.push_back(iv);
-    else if (e.name.find("/central/") != std::string::npos)
+    else if (!backward && e.name.find("/central/") != std::string::npos)
       central_iv.push_back(iv);
-    else if (e.name.find("/marginal/") != std::string::npos)
+    else if (!backward && e.name.find("/marginal/") != std::string::npos)
       marginal_iv.push_back(iv);
   }
-  const double exchange_busy = union_seconds(exchange_iv);
-  const double central_busy = union_seconds(central_iv);
-  const double marginal_busy = union_seconds(marginal_iv);
-  const double overlap = intersection_seconds(exchange_iv, central_iv);
+  const double exchange_busy = interval_union_seconds(exchange_iv);
+  const double central_busy = interval_union_seconds(central_iv);
+  const double marginal_busy = interval_union_seconds(marginal_iv);
+  const double overlap =
+      interval_intersection_seconds(exchange_iv, central_iv);
   const double denom = std::min(exchange_busy, central_busy);
   const double efficiency = denom > 0.0 ? overlap / denom : 0.0;
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Docs link checker: fails when a *relative* markdown link in README.md or
+# docs/ points at a path that does not exist in the working tree. External
+# (http/https/mailto) links and pure #anchors are skipped; anchors on
+# relative links are stripped before the existence check. Run from anywhere;
+# CI runs it as the `docs` job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+checked=0
+while IFS= read -r -d '' f; do
+  dir=$(dirname "$f")
+  # Markdown inline links: capture the (target) part of [text](target).
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    checked=$((checked + 1))
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "BROKEN LINK: $f -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done < <(find docs README.md -name '*.md' -print0)
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "docs link check FAILED" >&2
+  exit 1
+fi
+echo "docs link check OK ($checked relative links verified)"

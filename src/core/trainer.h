@@ -27,17 +27,27 @@
 // setting (tests/test_runtime.cpp enforces this).
 //
 // With ADAQP_ASYNC=1 (the default) the AdaQP / AdaQP-Uniform layers run
-// through the pipeline stage scheduler (src/pipeline/): the marginal-row
-// encode/wire/decode stages execute concurrently with the central-subgraph
-// forward, joining before marginal compute — the *real* execution of the
-// overlap the cost model's max(comm, central) arithmetic predicts — and the
-// backward exchange overlaps the parameter-gradient folds. ADAQP_ASYNC=0
-// keeps the phased execution; both modes (and any thread count) are
-// bit-identical, enforced by tests/test_pipeline.cpp. Setting ADAQP_TRACE
-// to a path makes run() record a Chrome trace of the stages.
+// through the pipeline stage scheduler (src/pipeline/) in both directions.
+// Forward: the marginal-row encode/wire/decode stages execute concurrently
+// with the central-subgraph forward, joining before marginal compute — the
+// *real* execution of the overlap the cost model's max(comm, central)
+// arithmetic predicts. Backward (full duplex): each layer's backward is
+// decomposed into row-subset adjoints — the marginal-row adjoint produces
+// the halo gradient rows, whose encode/wire stages then run concurrently
+// with the central-row adjoint and the shared parameter-gradient fold;
+// owner-side accumulation waits for the owner's central stage (both add
+// into boundary rows). PipeGCN's deferred exchanges are the same stages
+// kept in flight *across iteration boundaries*: a layer's stale halo
+// send/recv overlaps the rest of the epoch (later layers, backward, Adam,
+// evaluation) and the next epoch's earlier layers, and is joined lazily
+// just before its buffers are reread or rewritten. ADAQP_ASYNC=0 keeps the
+// phased execution; both modes (and any thread count, and any ADAQP_ISA)
+// are bit-identical, enforced by tests/test_pipeline.cpp. Setting
+// ADAQP_TRACE to a path makes run() record a Chrome trace of the stages.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,6 +60,7 @@
 #include "dist/halo_exchange.h"
 #include "gnn/adam.h"
 #include "gnn/model.h"
+#include "pipeline/async_exchange.h"
 
 namespace adaqp {
 
@@ -156,6 +167,29 @@ class DistTrainer {
   /// reference schedule). Bit-identical either way.
   EpochBreakdown adaqp_forward_layer(int l, bool training);
 
+  /// Full-duplex backward of layer l (AdaQP / AdaQP-Uniform, l > 0): one
+  /// stage graph running, per device, the marginal-row adjoint (the sole
+  /// writer of halo gradient rows), then — concurrently with the per-pair
+  /// halo-gradient encode/wire stages — the central-row adjoint and the
+  /// shared parameter-gradient fold. Owner-side accumulate stages wait for
+  /// the owner's central stage (both add into boundary rows) and the
+  /// assigner's range-trace stage. Per-(device, subset) weight-gradient
+  /// partials are folded in ascending device order, marginal before central.
+  /// Writes grad_x (resized); bit-identical across async/sync, thread
+  /// counts and ISAs.
+  EpochBreakdown adaqp_backward_layer(int l, std::vector<Matrix>& grads,
+                                      std::vector<Matrix>& grad_x);
+
+  /// Join the in-flight PipeGCN deferred exchange of layer input l (no-op
+  /// when none is pending); returns its modeled comm seconds and accounts
+  /// its wire bytes. Called lazily, right before the exchanged buffers are
+  /// reread or rewritten — one epoch after the submit.
+  double join_pipegcn_forward(int l);
+  double join_pipegcn_backward(int l);
+  /// Submit layer l's deferred forward exchange (stale boundary rows of
+  /// acts_[l]); it stays in flight across the iteration boundary.
+  void submit_pipegcn_forward(int l);
+
   double compute_seconds(int layer, bool backward, bool central_only,
                          int device) const;
   double max_compute_seconds(int layer, bool backward, bool central_only) const;
@@ -194,9 +228,20 @@ class DistTrainer {
   std::vector<std::vector<std::vector<float>>> fwd_ranges_;  ///< [layer][dev]
   std::vector<std::vector<std::vector<float>>> bwd_ranges_;
 
-  // PipeGCN state: pending remote gradient contributions per layer input.
-  std::vector<std::vector<Matrix>> pending_grads_;  ///< [layer][device]
+  // PipeGCN state. The deferred exchanges are cross-iteration pipeline
+  // stages: submitted after a layer's compute (forward) or at its backward
+  // exchange point, joined lazily one epoch later. They capture the shared
+  // fwd_plans_/bwd_plans_ entries, which stay the constructor's uniform
+  // 32-bit plans for this method (refresh_plans is AdaQP-only), so the
+  // referenced plan is stable while an exchange is in flight. Backward staging uses
+  // persistent per-layer scratch matrices (halo rows: this epoch's outbound
+  // contributions; owned rows: the arrivals accumulated by the in-flight
+  // exchange, harvested at join).
   bool pipegcn_warm_ = false;
+  std::vector<std::vector<Matrix>> pipegcn_bwd_scratch_;  ///< [layer][device]
+  /// Comm seconds of joined forward exchanges, stashed per slot until the
+  /// slot's own layer consumes them (joins can happen one layer early).
+  std::vector<double> pipegcn_joined_comm_;
 
   // SANCUS state: snapshot of owned rows at last broadcast per layer input.
   std::vector<std::vector<Matrix>> sancus_last_bcast_;  ///< [layer][device]
@@ -208,6 +253,12 @@ class DistTrainer {
   double assign_seconds_ = 0.0;
   std::size_t total_comm_bytes_ = 0;
   std::vector<std::vector<std::size_t>> last_layer1_pair_bytes_;
+
+  // In-flight PipeGCN deferred exchanges, one slot per layer input.
+  // Declared last so they are destroyed (and therefore joined) before the
+  // activation / scratch / plan members their stages reference.
+  std::vector<std::unique_ptr<pipeline::AsyncExchange>> pipegcn_fwd_inflight_;
+  std::vector<std::unique_ptr<pipeline::AsyncExchange>> pipegcn_bwd_inflight_;
 };
 
 /// Convenience wrapper: partition + build + train one (dataset, model,

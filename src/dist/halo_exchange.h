@@ -8,6 +8,15 @@
 // per-message bit-widths of an ExchangePlan, so numerics are bit-exact with
 // what a physical cluster would compute, while *time* is accounted by the
 // ClusterSpec cost model under the paper's ring all2all schedule (Fig. 8).
+//
+// These synchronous entry points are thin submit-then-wait wrappers over
+// pipeline::AsyncExchange — there is exactly one exchange implementation in
+// the library. Callers that want the exchange in flight while they compute
+// use the split form directly: the trainer overlaps each AdaQP layer's
+// backward exchange with the central-row adjoint (gated per stage via
+// pipeline::BackwardStageDeps), and keeps PipeGCN's deferred exchanges in
+// flight across whole iteration boundaries. See
+// src/pipeline/async_exchange.h and docs/ARCHITECTURE.md.
 #pragma once
 
 #include <vector>

@@ -42,6 +42,37 @@ inline void layer_norm_row(const Matrix& in, Matrix& out,
   }
 }
 
+/// One LayerNorm backward row — shared by the full and row-subset backwards
+/// so both are bit-identical per row by construction. dgamma / dbeta
+/// accumulate this row's contribution (caller fixes the row order).
+inline void layer_norm_backward_row(const Matrix& grad_out,
+                                    const LayerNorm::Cache& cache,
+                                    Matrix& grad_in, Matrix& dgamma,
+                                    Matrix& dbeta, const Matrix& gamma,
+                                    std::size_t r) {
+  const std::size_t dim = grad_out.cols();
+  const auto dy = grad_out.row(r);
+  const auto xh = cache.normalized.row(r);
+  auto dx = grad_in.row(r);
+  // dγ += Σ_r dy⊙x̂ ; dβ += Σ_r dy
+  double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
+  for (std::size_t c = 0; c < dim; ++c) {
+    dgamma.data()[c] += dy[c] * xh[c];
+    dbeta.data()[c] += dy[c];
+    const double dxh = static_cast<double>(dy[c]) * gamma.data()[c];
+    mean_dxhat += dxh;
+    mean_dxhat_xhat += dxh * xh[c];
+  }
+  mean_dxhat /= static_cast<double>(dim);
+  mean_dxhat_xhat /= static_cast<double>(dim);
+  const float rstd = cache.rstd[r];
+  for (std::size_t c = 0; c < dim; ++c) {
+    const double dxh = static_cast<double>(dy[c]) * gamma.data()[c];
+    dx[c] = static_cast<float>(
+        rstd * (dxh - mean_dxhat - xh[c] * mean_dxhat_xhat));
+  }
+}
+
 }  // namespace
 
 void LayerNorm::forward(const Matrix& in, Matrix& out, Cache& cache) const {
@@ -77,28 +108,22 @@ void LayerNorm::backward(const Matrix& grad_out, const Cache& cache,
   if (!grad_in.same_shape(grad_out)) grad_in = Matrix(rows, dim);
   if (dgamma.rows() != 1 || dgamma.cols() != dim) dgamma = Matrix(1, dim);
   if (dbeta.rows() != 1 || dbeta.cols() != dim) dbeta = Matrix(1, dim);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const auto dy = grad_out.row(r);
-    const auto xh = cache.normalized.row(r);
-    auto dx = grad_in.row(r);
-    // dγ += Σ_r dy⊙x̂ ; dβ += Σ_r dy
-    double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
-    for (std::size_t c = 0; c < dim; ++c) {
-      dgamma.data()[c] += dy[c] * xh[c];
-      dbeta.data()[c] += dy[c];
-      const double dxh = static_cast<double>(dy[c]) * gamma.value.data()[c];
-      mean_dxhat += dxh;
-      mean_dxhat_xhat += dxh * xh[c];
-    }
-    mean_dxhat /= static_cast<double>(dim);
-    mean_dxhat_xhat /= static_cast<double>(dim);
-    const float rstd = cache.rstd[r];
-    for (std::size_t c = 0; c < dim; ++c) {
-      const double dxh = static_cast<double>(dy[c]) * gamma.value.data()[c];
-      dx[c] = static_cast<float>(
-          rstd * (dxh - mean_dxhat - xh[c] * mean_dxhat_xhat));
-    }
-  }
+  for (std::size_t r = 0; r < rows; ++r)
+    layer_norm_backward_row(grad_out, cache, grad_in, dgamma, dbeta,
+                            gamma.value, r);
+}
+
+void LayerNorm::backward_rows(const Matrix& grad_out, const Cache& cache,
+                              Matrix& grad_in, Matrix& dgamma, Matrix& dbeta,
+                              std::span<const NodeId> rows) const {
+  const std::size_t dim = grad_out.cols();
+  ADAQP_CHECK(cache.normalized.same_shape(grad_out));
+  ADAQP_CHECK(grad_in.same_shape(grad_out));
+  if (dgamma.rows() != 1 || dgamma.cols() != dim) dgamma = Matrix(1, dim);
+  if (dbeta.rows() != 1 || dbeta.cols() != dim) dbeta = Matrix(1, dim);
+  for (NodeId r : rows)
+    layer_norm_backward_row(grad_out, cache, grad_in, dgamma, dbeta,
+                            gamma.value, r);
 }
 
 GnnLayer::GnnLayer(const LayerConfig& config)
@@ -281,6 +306,73 @@ void GnnLayer::backward(const DeviceGraph& dev, const Matrix& grad_out,
     Matrix dself;
     gemm_nt(dpre_norm, weight_self_.value, dself);
     for (std::size_t r = 0; r < dev.num_owned; ++r) {
+      auto dst = grad_x.row(r);
+      const auto src = dself.row(r);
+      for (std::size_t c = 0; c < config_.in_dim; ++c) dst[c] += src[c];
+    }
+  }
+}
+
+void GnnLayer::backward_rows(const DeviceGraph& dev, const Matrix& grad_out,
+                             const LayerCache& cache, Matrix& grad_x,
+                             LayerGrads& sink,
+                             std::span<const NodeId> rows) const {
+  ADAQP_CHECK(grad_out.rows() >= dev.num_owned);
+  ADAQP_CHECK(grad_out.cols() == config_.out_dim);
+  ADAQP_CHECK(grad_x.rows() == dev.num_local());
+  ADAQP_CHECK(grad_x.cols() == config_.in_dim);
+  sink = LayerGrads{};
+  if (rows.empty()) return;
+
+  // Epilogue adjoint of the subset rows: the pre-drawn dropout mask and the
+  // ReLU gate, fused row-wise (identical arithmetic to dropout_backward +
+  // relu_backward), then LayerNorm.
+  Matrix dpre_norm(dev.num_owned, config_.out_dim);
+  if (!config_.is_output) {
+    Matrix dpre_act(dev.num_owned, config_.out_dim);
+    for (NodeId r : rows) {
+      const auto dy = grad_out.row(r);
+      const auto m = cache.drop_mask.row(r);
+      const auto pre = cache.pre_act.row(r);
+      auto dst = dpre_act.row(r);
+      for (std::size_t c = 0; c < config_.out_dim; ++c) {
+        const float dpost = dy[c] * m[c];
+        dst[c] = pre[c] > 0.0f ? dpost : 0.0f;
+      }
+    }
+    if (config_.layer_norm) {
+      norm_.backward_rows(dpre_act, cache.ln, dpre_norm, sink.gamma,
+                          sink.beta, rows);
+    } else {
+      for (NodeId r : rows) {
+        const auto src = dpre_act.row(r);
+        std::copy(src.begin(), src.end(), dpre_norm.row(r).begin());
+      }
+    }
+  } else {
+    for (NodeId r : rows) {
+      const auto src = grad_out.row(r);
+      std::copy(src.begin(), src.end(), dpre_norm.row(r).begin());
+    }
+  }
+
+  // Dense transform backward restricted to the subset. Weight-gradient
+  // partials sum the subset's rows in span order; the input-gradient scatter
+  // runs the serial per-source kernel, so contributions to a shared
+  // destination fold in span order too.
+  Matrix dagg(dev.num_owned, config_.in_dim);
+  if (config_.aggregator != Aggregator::kSageMean) {
+    gemm_tn_rows(cache.agg, dpre_norm, sink.weight, rows);
+    gemm_nt_rows(dpre_norm, weight_.value, dagg, rows);
+    aggregate_backward(dev, config_.aggregator, dagg, rows, grad_x);
+  } else {
+    gemm_tn_rows(cache.mean_nbr, dpre_norm, sink.weight, rows);
+    gemm_tn_rows(cache.agg, dpre_norm, sink.weight_self, rows);
+    gemm_nt_rows(dpre_norm, weight_.value, dagg, rows);
+    aggregate_backward(dev, Aggregator::kSageMean, dagg, rows, grad_x);
+    Matrix dself(dev.num_owned, config_.in_dim);
+    gemm_nt_rows(dpre_norm, weight_self_.value, dself, rows);
+    for (NodeId r : rows) {
       auto dst = grad_x.row(r);
       const auto src = dself.row(r);
       for (std::size_t c = 0; c < config_.in_dim; ++c) dst[c] += src[c];

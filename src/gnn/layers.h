@@ -61,6 +61,15 @@ struct LayerNorm {
   /// parameter gradients.
   void backward(const Matrix& grad_out, const Cache& cache, Matrix& grad_in,
                 Matrix& dgamma, Matrix& dbeta) const;
+  /// Row-subset backward: the per-row adjoint of `rows` only. grad_in rows
+  /// outside the subset are untouched (grad_in must be pre-sized to
+  /// grad_out's shape); dgamma / dbeta accumulate the subset's rows in span
+  /// order, so per-subset partials folded in a fixed subset order are
+  /// deterministic and the full ascending row list reproduces backward()
+  /// bit for bit.
+  void backward_rows(const Matrix& grad_out, const Cache& cache,
+                     Matrix& grad_in, Matrix& dgamma, Matrix& dbeta,
+                     std::span<const NodeId> rows) const;
 };
 
 struct LayerConfig {
@@ -144,6 +153,23 @@ class GnnLayer {
   void backward(const DeviceGraph& dev, const Matrix& grad_out,
                 const LayerCache& cache, Matrix& grad_x,
                 LayerGrads& sink) const;
+
+  /// Row-subset backward (the adjoint mirror of forward_rows): epilogue
+  /// derivative, weight-gradient partial sums and input-gradient scatter of
+  /// the owned rows in `rows` only. Accumulates into grad_x (pre-sized
+  /// num_local x in_dim by the caller; NOT zeroed here) and overwrites
+  /// `sink` with this subset's partials. Central rows scatter only into
+  /// owned rows of grad_x; marginal rows also scatter into halo rows — so
+  /// the halo-gradient exchange depends only on the marginal subset, and
+  /// central-row backward can run while that exchange is in flight. Subsets
+  /// that share destination rows must be ordered (marginal before central in
+  /// the trainer's stage graph) and their sinks folded with apply_grads in a
+  /// fixed device-then-subset order; then any schedule is bit-identical.
+  /// backward_rows over the full owned list reproduces backward() bit for
+  /// bit.
+  void backward_rows(const DeviceGraph& dev, const Matrix& grad_out,
+                     const LayerCache& cache, Matrix& grad_x, LayerGrads& sink,
+                     std::span<const NodeId> rows) const;
 
   /// Fold one device's contributions into the shared parameter gradients.
   void apply_grads(const LayerGrads& sink);

@@ -4,6 +4,15 @@
 // state (layer inputs/outputs, backward caches) lives in DeviceWork objects
 // owned by the trainer. This mirrors data-parallel training where weights
 // are identical replicas kept in sync by gradient allreduce.
+//
+// Gradient fold discipline: concurrent backward passes never touch the
+// shared Param gradients directly — they write per-device (and, in the
+// full-duplex backward, per-row-subset) LayerGrads sinks, which the trainer
+// folds via GnnLayer::apply_grads in a fixed order: ascending device, and
+// within a device marginal subset before central. Any schedule that
+// respects that fold order produces bit-identical Param.grad (and thus
+// bit-identical Adam moments) at any thread count, async mode or kernel
+// ISA — see docs/ARCHITECTURE.md, "The determinism contract".
 #pragma once
 
 #include <memory>

@@ -114,12 +114,16 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
                                         const DistGraph& dist,
                                         std::vector<Matrix>& grads,
                                         const ExchangePlan& plan,
-                                        ExchangeAccounting& acct) {
+                                        ExchangeAccounting& acct,
+                                        const BackwardStageDeps& deps) {
   const int n = dist.num_devices();
   ADAQP_CHECK(static_cast<int>(grads.size()) == n);
   check_plan_shape(dist, plan, /*forward=*/false);
   for (int d = 0; d < n; ++d)
     ADAQP_CHECK(grads[d].rows() == dist.devices[d].num_local());
+  const auto extra_dep = [](const std::vector<int>& hook, int d) {
+    return d < static_cast<int>(hook.size()) ? hook[d] : -1;
+  };
 
   PairStages out;
   out.stage.assign(n, std::vector<int>(n, -1));
@@ -130,6 +134,9 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
   // owned rows, so encodes and accumulates of different devices commute.
   for (int d = 0; d < n; ++d) {
     const DeviceGraph& dev = dist.devices[d];
+    std::vector<int> enc_deps;
+    if (const int dep = extra_dep(deps.encode, d); dep >= 0)
+      enc_deps.push_back(dep);
     for (int p = 0; p < n; ++p) {
       if (p == d || dev.recv_local[p].empty()) continue;
       out.stage[d][p] = graph.add(
@@ -142,7 +149,8 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
             acct.pair_bytes[d][p] = acct.blocks[d][p].wire_bytes();
             acct.fp_bytes[d][p] =
                 quantized_fp_bytes(bits, grads[d].cols());
-          });
+          },
+          enc_deps);
     }
   }
 
@@ -150,10 +158,12 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
   // into the owned rows in ascending sender order, the exact accumulation
   // order of a serial d-outer sweep.
   for (int p = 0; p < n; ++p) {
-    std::vector<int> deps;
+    std::vector<int> acc_deps;
     for (int d = 0; d < n; ++d)
-      if (out.stage[d][p] >= 0) deps.push_back(out.stage[d][p]);
-    if (deps.empty()) continue;
+      if (out.stage[d][p] >= 0) acc_deps.push_back(out.stage[d][p]);
+    if (acc_deps.empty()) continue;
+    if (const int dep = extra_dep(deps.accumulate, p); dep >= 0)
+      acc_deps.push_back(dep);
     out.owner_stage[p] = graph.add(
         stage_name("bwd-acc", p, -1),
         [&dist, &grads, &acct, p, n] {
@@ -172,15 +182,18 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
             }
           }
         },
-        deps);
+        acc_deps);
   }
 
-  // Phase 3 stages — zero each device's halo rows once its own encodes are
-  // done (their contribution has been shipped).
+  // Phase 3 stages — zero each device's halo rows once its own encodes (and
+  // any extra halo-row reader hooked in via deps.zero) are done: their
+  // contribution has been shipped.
   for (int d = 0; d < n; ++d) {
-    std::vector<int> deps;
+    std::vector<int> zero_deps;
     for (int p = 0; p < n; ++p)
-      if (out.stage[d][p] >= 0) deps.push_back(out.stage[d][p]);
+      if (out.stage[d][p] >= 0) zero_deps.push_back(out.stage[d][p]);
+    if (const int dep = extra_dep(deps.zero, d); dep >= 0)
+      zero_deps.push_back(dep);
     const DeviceGraph& dev = dist.devices[d];
     if (dev.num_halo == 0) continue;
     graph.add(
@@ -192,7 +205,7 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
             std::fill(row.begin(), row.end(), 0.0f);
           }
         },
-        deps);
+        zero_deps);
   }
   return out;
 }

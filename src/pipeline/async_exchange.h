@@ -64,14 +64,34 @@ PairStages add_forward_exchange_stages(StageGraph& graph,
                                        const ExchangePlan& plan,
                                        ExchangeAccounting& acct);
 
+/// Extra stage dependencies threaded into one backward exchange — the hooks
+/// that let exchange stages interleave with row-subset backward compute
+/// stages added to the same graph (see DistTrainer's full-duplex backward):
+///   encode[d]     gates every bwd-enc/d->p on the stage that last writes
+///                 device d's halo gradient rows (the marginal-row adjoint);
+///   accumulate[p] gates bwd-acc/p on the stage that finishes p's own
+///                 writes to its owned rows (owner accumulation adds into
+///                 boundary rows, which the central-row adjoint also
+///                 scatters into);
+///   zero[d]       gates bwd-zero/d on the last *reader* of d's halo rows
+///                 (e.g. the assigner's range trace).
+/// Entries are stage ids or -1 (no extra dep); an empty vector skips that
+/// hook entirely.
+struct BackwardStageDeps {
+  std::vector<int> encode;
+  std::vector<int> accumulate;
+  std::vector<int> zero;
+};
+
 /// Add backward stages: per-pair encodes of halo-row gradients, per-owner
 /// accumulate stages (senders folded ascending), and per-device halo-zero
-/// stages gated on that device's encodes.
+/// stages gated on that device's encodes — plus any extra `deps` hooks.
 PairStages add_backward_exchange_stages(StageGraph& graph,
                                         const DistGraph& dist,
                                         std::vector<Matrix>& grads,
                                         const ExchangePlan& plan,
-                                        ExchangeAccounting& acct);
+                                        ExchangeAccounting& acct,
+                                        const BackwardStageDeps& deps = {});
 
 /// Fold the per-pair byte counts into ExchangeStats (kernel times in fixed
 /// (d, p) order, then the ring-all2all straggler time). Call after the
@@ -81,9 +101,23 @@ ExchangeStats finalize_exchange_stats(const ExchangeAccounting& acct,
                                       const ClusterSpec& cluster);
 
 /// The submit()/wait() halves of one halo exchange, for callers that want
-/// the exchange in flight while they do other work (the trainer overlaps
-/// the backward exchange with its parameter-gradient folds; benches and
-/// tests drive it directly).
+/// the exchange in flight while they do other work.
+///
+/// Lifecycle (single-use): construct → submit_forward() or
+/// submit_backward() exactly once → wait() exactly once → destroy; a
+/// second submit on the same instance throws. The matrices, plan and
+/// DistGraph passed to submit are captured by reference and must stay
+/// alive — and their exchanged rows untouched by anyone else — until
+/// wait() returns. The destructor joins a still-launched exchange
+/// defensively (swallowing stage errors), so an in-flight exchange can be
+/// dropped safely, but only wait() returns its ExchangeStats.
+///
+/// The join may happen arbitrarily later than the submit: DistTrainer
+/// keeps one AsyncExchange per layer in flight *across iteration
+/// boundaries* for PipeGCN's deferred exchanges (stale boundary rows ship
+/// while the rest of the epoch and the next epoch's earlier layers run),
+/// and overlaps each AdaQP layer's halo-gradient exchange with the
+/// central-row backward. Benches and tests drive it directly.
 class AsyncExchange {
  public:
   AsyncExchange(const DistGraph& dist, const ClusterSpec& cluster);

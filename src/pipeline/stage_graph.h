@@ -22,6 +22,22 @@
 // Every stage executes inside a TraceSpan, so an enabled TraceRecorder
 // yields a Chrome trace where overlap between exchange and compute stages
 // is directly visible.
+//
+// Lifecycle (single-shot):
+//   1. add() every stage; dependency ids must point at already-added
+//      stages, which keeps the graph acyclic by construction.
+//   2. Either launch() once and then wait() exactly once (async), or
+//      run_serial() once (the reference schedule) — the run(async) helper
+//      picks between the two. A graph cannot be re-run; build a new one.
+//   3. Stage closures may outlive launch() until wait() returns: every
+//      buffer they capture by reference must stay alive and untouched (by
+//      anyone else) for that whole window. This is what lets a graph stay
+//      in flight across an iteration boundary (PipeGCN's deferred
+//      exchanges) as long as the owner joins before the buffers are reused.
+//   4. wait() rethrows the first stage exception; dependents of a failed
+//      stage are poisoned (never run). The destructor does NOT join — the
+//      owner must wait() a launched graph before destroying it (see
+//      AsyncExchange for an owner that joins defensively).
 #pragma once
 
 #include <condition_variable>

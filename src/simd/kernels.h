@@ -22,6 +22,23 @@
 //    bit-identical across ISAs and thread counts.
 // Inputs are assumed finite; NaN propagation is unspecified (the scalar
 // path would throw from pack-range checks, vector paths clamp).
+//
+// Adding a kernel:
+//   1. Add a function-pointer slot to KernelTable below and state its
+//      determinism contract next to it — what must be bit-identical across
+//      ISAs, and why it is (accumulation order, unfused mul-add, exact
+//      integer packing, ...).
+//   2. Implement it in kernels_scalar.cpp — the reference, required; this
+//      is the behavior every other ISA must reproduce bit for bit.
+//   3. Optionally implement it in any kernels_<isa>.cpp; leave the slot
+//      null elsewhere — the registry backfills missing entries from the
+//      scalar table, so callers never see a null pointer.
+//   4. Wire the slot into dispatch.cpp's merged_table() so the backfill
+//      covers it.
+//   5. Extend tests/test_simd.cpp's cross-ISA sweep with the new kernel
+//      (byte- or bit-identity against scalar on every supported ISA).
+// Kernel TUs must stay free of shared inline code (the ODR note above),
+// and each TU keeps -ffp-contract=off (see CMakeLists.txt).
 #pragma once
 
 #include <cstddef>

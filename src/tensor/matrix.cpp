@@ -180,6 +180,35 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
   });
 }
 
+void gemm_tn_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::span<const std::uint32_t> rows) {
+  ADAQP_CHECK_MSG(a.rows() == b.rows(),
+                  "gemm_tn_rows: shared dim " << a.rows() << " vs "
+                                              << b.rows());
+  const std::size_t m = a.cols(), n = b.cols();
+  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
+  else c.set_zero();
+  for (const std::uint32_t p : rows) ADAQP_CHECK(p < a.rows());
+  // Shared-dim iteration follows the span order (no k-tiling: the subset is
+  // the tile), so every C element accumulates its products in `rows` order —
+  // ascending-p for the full owned list, matching gemm_tn bit for bit.
+  const auto axpy = simd::kernels().axpy;
+  parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t jj = 0; jj < n; jj += kBlockN) {
+      const std::size_t jhi = std::min(jj + kBlockN, n);
+      for (const std::uint32_t p : rows) {
+        const float* arow = a.data() + static_cast<std::size_t>(p) * m;
+        const float* brow = b.data() + static_cast<std::size_t>(p) * n;
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float av = arow[i];
+          if (av == 0.0f) continue;
+          axpy(av, brow + jj, c.data() + i * n + jj, jhi - jj);
+        }
+      }
+    }
+  });
+}
+
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
   ADAQP_CHECK_MSG(a.cols() == b.cols(),
                   "gemm_nt: shared dim " << a.cols() << " vs " << b.cols());
@@ -194,6 +223,39 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
         for (std::size_t i = i0; i < i1; ++i) {
           const float* arow = a.data() + i * k;
           float* crow = c.data() + i * n;
+          for (std::size_t j = jj; j < jhi; ++j) {
+            const float* brow = b.data() + j * k;
+            float acc = crow[j];
+            for (std::size_t p = pp; p < phi; ++p) acc += arow[p] * brow[p];
+            crow[j] = acc;
+          }
+        }
+      }
+    }
+  });
+}
+
+void gemm_nt_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::span<const std::uint32_t> rows) {
+  ADAQP_CHECK_MSG(a.cols() == b.cols(), "gemm_nt_rows: shared dim "
+                                            << a.cols() << " vs " << b.cols());
+  ADAQP_CHECK_MSG(c.rows() == a.rows() && c.cols() == b.rows(),
+                  "gemm_nt_rows: C must be pre-sized");
+  const std::size_t k = a.cols(), n = b.rows();
+  // Same (j, k) tiling and k-ascending per-element reduction as gemm_nt,
+  // applied to the selected rows only; bands over `rows` write disjoint C
+  // rows, so any thread count is bit-identical to serial.
+  parallel_for(rows.size(), kRowGrain, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t idx = r0; idx < r1; ++idx) {
+      const std::size_t i = rows[idx];
+      ADAQP_CHECK(i < a.rows());
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+      const float* arow = a.data() + i * k;
+      for (std::size_t jj = 0; jj < n; jj += kBlockN) {
+        const std::size_t jhi = std::min(jj + kBlockN, n);
+        for (std::size_t pp = 0; pp < k; pp += kBlockK) {
+          const std::size_t phi = std::min(pp + kBlockK, k);
           for (std::size_t j = jj; j < jhi; ++j) {
             const float* brow = b.data() + j * k;
             float acc = crow[j];

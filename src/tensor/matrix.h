@@ -106,8 +106,24 @@ void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c,
                std::span<const std::uint32_t> rows);
 /// C = A^T * B           (k x m)^T * (k x n)
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c);
+/// Row-subset transpose product: C = A[rows]^T * B[rows], i.e. the sum of
+/// outer products a[r]^T · b[r] over r in `rows`, accumulated in `rows`
+/// order. C is overwritten (resized to A.cols x B.cols). Each element's
+/// accumulation order is the order rows appear in the span, so for the full
+/// ascending row list this is bit-identical to gemm_tn — and per-subset
+/// partial sums folded in a fixed subset order are deterministic at any
+/// thread count (the property GnnLayer::backward_rows rests on).
+void gemm_tn_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::span<const std::uint32_t> rows);
 /// C = A * B^T           (m x k) * (n x k)^T
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
+/// Row-subset product: C[r,:] = (A * B^T)[r,:] for each r in `rows`; other
+/// rows of C are untouched. C must be pre-sized to (A.rows x B.rows). Each
+/// computed row uses the same (j, k) tiling and k-ascending per-element
+/// reduction as gemm_nt, so it is bit-identical to the corresponding row of
+/// the full product.
+void gemm_nt_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::span<const std::uint32_t> rows);
 
 // ---- Elementwise / rowwise kernels ----------------------------------------
 

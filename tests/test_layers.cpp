@@ -130,6 +130,123 @@ INSTANTIATE_TEST_SUITE_P(
                       LayerCase{Aggregator::kSum, false, true},
                       LayerCase{Aggregator::kSum, true, false}));
 
+/// Fixture for the row-subset backward decomposition: a 2-device partition
+/// (so marginal rows and halo gradient rows exist) plus one forward pass
+/// that fills the cache backward reads.
+struct BackwardRowsFixture {
+  DistGraph dist;
+  GnnLayer layer;
+  Matrix x;
+  Matrix out;
+  Matrix grad_out;
+  LayerCache cache;
+
+  explicit BackwardRowsFixture(Aggregator agg, bool is_output)
+      : layer([&] {
+          LayerConfig lc;
+          lc.aggregator = agg;
+          lc.in_dim = 6;
+          lc.out_dim = 5;
+          lc.is_output = is_output;
+          lc.layer_norm = !is_output;
+          lc.dropout = 0.4f;
+          return lc;
+        }()) {
+    Rng rng(1234);
+    // A 10x10 grid split into halves: device 0 owns rows 0-4 of the grid,
+    // so its grid rows 0-3 are central, grid row 4 is marginal, and grid
+    // row 5 is its halo — all three row classes are non-empty.
+    Graph g = grid_graph(10, 10);
+    PartitionResult part;
+    part.num_parts = 2;
+    part.part_of.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      part.part_of[v] = v < 50 ? 0 : 1;
+    dist = build_dist_graph(g, part);
+    layer.init_weights(rng);
+    const DeviceGraph& dev = dist.devices[0];
+    EXPECT_GT(dev.central_nodes.size(), 0u);
+    EXPECT_GT(dev.marginal_nodes.size(), 0u);
+    EXPECT_GT(dev.num_halo, 0u);
+    x = Matrix(dev.num_local(), 6);
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    out = Matrix(dev.num_local(), 5);
+    layer.forward(dev, x, out, cache, rng, /*training=*/true);
+    grad_out = Matrix(dev.num_local(), 5);
+    grad_out.fill_uniform(rng, -1.0f, 1.0f);
+  }
+};
+
+class BackwardRows : public ::testing::TestWithParam<LayerCase> {};
+
+TEST_P(BackwardRows, FullOwnedListReproducesBackwardBitwise) {
+  const auto param = GetParam();
+  BackwardRowsFixture fx(param.agg, param.is_output);
+  const DeviceGraph& dev = fx.dist.devices[0];
+
+  Matrix ref_grad_x;
+  LayerGrads ref_sink;
+  fx.layer.backward(dev, fx.grad_out, fx.cache, ref_grad_x, ref_sink);
+
+  Matrix grad_x(dev.num_local(), 6);
+  LayerGrads sink;
+  fx.layer.backward_rows(dev, fx.grad_out, fx.cache, grad_x, sink,
+                         dev.owned_span());
+
+  EXPECT_EQ(max_abs_diff(grad_x, ref_grad_x), 0.0f);
+  EXPECT_EQ(max_abs_diff(sink.weight, ref_sink.weight), 0.0f);
+  if (!ref_sink.weight_self.empty())
+    EXPECT_EQ(max_abs_diff(sink.weight_self, ref_sink.weight_self), 0.0f);
+  if (!ref_sink.gamma.empty()) {
+    EXPECT_EQ(max_abs_diff(sink.gamma, ref_sink.gamma), 0.0f);
+    EXPECT_EQ(max_abs_diff(sink.beta, ref_sink.beta), 0.0f);
+  }
+}
+
+TEST_P(BackwardRows, MarginalPlusCentralSubsetsCoverFullBackward) {
+  const auto param = GetParam();
+  BackwardRowsFixture fx(param.agg, param.is_output);
+  const DeviceGraph& dev = fx.dist.devices[0];
+
+  Matrix ref_grad_x;
+  LayerGrads ref_sink;
+  fx.layer.backward(dev, fx.grad_out, fx.cache, ref_grad_x, ref_sink);
+
+  // The trainer's decomposition: marginal-subset adjoint first (the sole
+  // producer of halo gradient rows), then the central subset, per-subset
+  // sinks folded afterwards.
+  Matrix grad_x(dev.num_local(), 6);
+  LayerGrads marginal_sink, central_sink;
+  fx.layer.backward_rows(dev, fx.grad_out, fx.cache, grad_x, marginal_sink,
+                         dev.marginal_span());
+  // Halo gradient rows are complete (and bit-identical to the full
+  // backward) before the central subset runs — the property that lets the
+  // halo-gradient exchange overlap central-row backward.
+  for (std::size_t h = dev.num_owned; h < dev.num_local(); ++h)
+    for (std::size_t c = 0; c < 6; ++c)
+      EXPECT_EQ(grad_x.at(h, c), ref_grad_x.at(h, c)) << "halo row " << h;
+  fx.layer.backward_rows(dev, fx.grad_out, fx.cache, grad_x, central_sink,
+                         dev.central_span());
+
+  // Owned rows and parameter partials differ from the full backward only by
+  // float summation order.
+  for (std::size_t i = 0; i < grad_x.size(); ++i)
+    EXPECT_NEAR(grad_x.data()[i], ref_grad_x.data()[i],
+                1e-4f * std::max(1.0f, std::fabs(ref_grad_x.data()[i])));
+  Matrix folded = marginal_sink.weight;
+  folded.add_inplace(central_sink.weight);
+  for (std::size_t i = 0; i < folded.size(); ++i)
+    EXPECT_NEAR(folded.data()[i], ref_sink.weight.data()[i],
+                1e-4f * std::max(1.0f, std::fabs(ref_sink.weight.data()[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BackwardRows,
+    ::testing::Values(LayerCase{Aggregator::kGcn, false, true},
+                      LayerCase{Aggregator::kGcn, true, false},
+                      LayerCase{Aggregator::kSageMean, false, true},
+                      LayerCase{Aggregator::kSum, false, true}));
+
 TEST(LayerNorm, ForwardNormalizesRows) {
   Rng rng(41);
   LayerNorm ln(6);

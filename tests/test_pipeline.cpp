@@ -23,6 +23,7 @@
 #include "pipeline/stage_graph.h"
 #include "pipeline/trace.h"
 #include "runtime/thread_pool.h"
+#include "simd/isa.h"
 
 namespace adaqp {
 namespace {
@@ -351,6 +352,100 @@ INSTANTIATE_TEST_SUITE_P(Methods, PipelineTrainerEquality,
                                            Method::kPipeGCN,
                                            Method::kSancus));
 
+// ---- Backward overlap: gradients and Adam state, bit for bit --------------
+
+/// Every float of trainer-held optimizer state after a short run: parameter
+/// values, last-epoch gradients, and both Adam moments — the deep
+/// comparison behind the full-duplex backward's bit-identity claim.
+struct TrainerState {
+  std::vector<std::vector<float>> tensors;
+
+  static TrainerState capture(DistTrainer& trainer) {
+    TrainerState s;
+    for (Param* p : trainer.model().params()) {
+      for (const Matrix* m : {&p->value, &p->grad, &p->adam_m, &p->adam_v})
+        s.tensors.emplace_back(m->data(), m->data() + m->size());
+    }
+    return s;
+  }
+};
+
+TrainerState run_and_capture(const Dataset& ds, const DistGraph& dist,
+                             Method method, int threads, bool async,
+                             std::optional<simd::Isa> isa = std::nullopt) {
+  ThreadCountGuard guard(threads);
+  AsyncModeGuard mode(async);
+  std::optional<simd::IsaGuard> isa_guard;
+  if (isa) isa_guard.emplace(*isa);
+  const ClusterSpec cluster = ClusterSpec::machines(2, 2);
+  ModelConfig mc;
+  mc.aggregator = Aggregator::kGcn;
+  mc.in_dim = ds.spec.feature_dim;
+  mc.hidden_dim = 16;
+  mc.out_dim = ds.spec.num_classes;
+  mc.num_layers = 3;
+  mc.dropout = 0.5f;
+  mc.layer_norm = true;
+  TrainOptions opts;
+  opts.method = method;
+  opts.epochs = 5;
+  opts.seed = 77;
+  opts.reassign_period = 2;
+  opts.eval_every_epoch = false;
+  DistTrainer trainer(ds, dist, cluster, mc, opts);
+  // Cross-iteration exchanges (PipeGCN) stay in flight between these calls.
+  for (int e = 0; e < opts.epochs; ++e) trainer.train_epoch();
+  return TrainerState::capture(trainer);
+}
+
+class BackwardOverlapStateEquality : public ::testing::TestWithParam<Method> {
+};
+
+TEST_P(BackwardOverlapStateEquality, GradientsAndAdamStateBitIdentical) {
+  const Method method = GetParam();
+  Rng rng(2718);
+  const Dataset ds = make_dataset(pipeline_spec(), rng);
+  Rng part_rng(31);
+  const auto part =
+      make_partitioner("multilevel")->partition(ds.graph, 4, part_rng);
+  const DistGraph dist = build_dist_graph(ds.graph, part);
+
+  const TrainerState ref =
+      run_and_capture(ds, dist, method, 1, /*async=*/false);
+  const TrainerState async1 =
+      run_and_capture(ds, dist, method, 1, /*async=*/true);
+  const TrainerState async4 =
+      run_and_capture(ds, dist, method, 4, /*async=*/true);
+  const TrainerState async8 =
+      run_and_capture(ds, dist, method, 8, /*async=*/true);
+  const TrainerState sync8 =
+      run_and_capture(ds, dist, method, 8, /*async=*/false);
+  const TrainerState scalar4 = run_and_capture(ds, dist, method, 4,
+                                               /*async=*/true,
+                                               simd::Isa::kScalar);
+
+  auto expect_equal = [&](const TrainerState& got, const char* what) {
+    ASSERT_EQ(got.tensors.size(), ref.tensors.size()) << what;
+    for (std::size_t t = 0; t < ref.tensors.size(); ++t) {
+      ASSERT_EQ(got.tensors[t].size(), ref.tensors[t].size()) << what;
+      for (std::size_t i = 0; i < ref.tensors[t].size(); ++i)
+        ASSERT_EQ(got.tensors[t][i], ref.tensors[t][i])
+            << what << " tensor " << t << " element " << i;
+    }
+  };
+  expect_equal(async1, "async threads=1");
+  expect_equal(async4, "async threads=4");
+  expect_equal(async8, "async threads=8");
+  expect_equal(sync8, "sync threads=8");
+  expect_equal(scalar4, "async threads=4 ADAQP_ISA=scalar");
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, BackwardOverlapStateEquality,
+                         ::testing::Values(Method::kVanilla, Method::kAdaQP,
+                                           Method::kAdaQPUniform,
+                                           Method::kPipeGCN,
+                                           Method::kSancus));
+
 // ---- Trace recorder -------------------------------------------------------
 
 TEST(TraceRecorder, RecordsStagesAndWritesChromeJson) {
@@ -392,6 +487,11 @@ TEST(TraceRecorder, RecordsStagesAndWritesChromeJson) {
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("/central/d0"), std::string::npos);
   EXPECT_NE(json.find("fwd/d"), std::string::npos);
+  // Full-duplex backward stages: row-subset adjoints and the fold.
+  EXPECT_NE(json.find("L1b/marginal/d0"), std::string::npos);
+  EXPECT_NE(json.find("L1b/central/d0"), std::string::npos);
+  EXPECT_NE(json.find("L1b/fold"), std::string::npos);
+  EXPECT_NE(json.find("bwd-enc/d"), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   std::remove(path.c_str());
 }
