@@ -1,6 +1,30 @@
 #!/usr/bin/env bash
 # Tier-1 verify (ROADMAP.md): configure, build, and run the full test suite.
+#
+#   scripts/check.sh             tier-1: configure + build + full ctest
+#   scripts/check.sh --analysis  determinism analysis pass (docs/ANALYSIS.md):
+#                                project lint + the full suite with the
+#                                stage-graph race checker enabled
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+mode="${1:-}"
+case "$mode" in
+  "") ;;
+  --analysis) ;;
+  *) echo "usage: $0 [--analysis]" >&2; exit 2 ;;
+esac
+
+if [[ "$mode" == "--analysis" ]]; then
+  scripts/lint.sh
+fi
+
+cmake -B build -S . && cmake --build build -j
+
+cd build
+if [[ "$mode" == "--analysis" ]]; then
+  ADAQP_RACECHECK=1 ctest --output-on-failure -j
+  echo "analysis: lint clean, racecheck-enabled suite green"
+else
+  ctest --output-on-failure -j
+fi

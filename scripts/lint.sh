@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Build and run the project lint (tools/lint/lint.cpp) against the repo.
+# Dependency-free: needs only a C++20 compiler. Exits non-zero on any
+# violation; see docs/ANALYSIS.md for the rule list and suppression syntax.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-c++}"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+"$CXX" -std=c++20 -O1 -Wall -Wextra tools/lint/lint.cpp -o "$out/adaqp_lint"
+"$out/adaqp_lint" "$PWD"

@@ -1,0 +1,301 @@
+#include "analysis/race_checker.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/env.h"
+
+namespace adaqp::analysis {
+
+namespace {
+
+const char* mode_name(BufferAccess::Mode m) {
+  return m == BufferAccess::Mode::kWrite ? "write" : "read";
+}
+
+std::string range_string(const BufferAccess& a) {
+  std::ostringstream os;
+  os << mode_name(a.mode) << " " << a.label << " [0x" << std::hex << a.begin
+     << ", 0x" << a.end << ")" << std::dec << " (" << (a.end - a.begin)
+     << " bytes)";
+  return os.str();
+}
+
+/// Minimal JSON string escaping (labels are programmer-chosen ASCII, but a
+/// stray quote or backslash must not corrupt the report).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BufferAccess read_of(const void* p, std::size_t bytes, std::string label) {
+  const auto begin = reinterpret_cast<std::uintptr_t>(p);
+  return BufferAccess{begin, begin + bytes, BufferAccess::Mode::kRead,
+                      std::move(label)};
+}
+
+BufferAccess write_of(const void* p, std::size_t bytes, std::string label) {
+  const auto begin = reinterpret_cast<std::uintptr_t>(p);
+  return BufferAccess{begin, begin + bytes, BufferAccess::Mode::kWrite,
+                      std::move(label)};
+}
+
+BufferAccess row_range(const void* base, std::size_t row_bytes,
+                       std::size_t row_begin, std::size_t row_end,
+                       BufferAccess::Mode mode, std::string label) {
+  const auto b = reinterpret_cast<std::uintptr_t>(base);
+  return BufferAccess{b + row_begin * row_bytes, b + row_end * row_bytes, mode,
+                      std::move(label)};
+}
+
+void append_row_set(AccessList& out, const void* base, std::size_t row_bytes,
+                    const std::uint32_t* rows, std::size_t num_rows,
+                    BufferAccess::Mode mode, const std::string& label) {
+  std::size_t i = 0;
+  while (i < num_rows) {
+    // Extend a maximal run of consecutive row ids into one interval. Halo
+    // row lists are sorted runs in practice, so this typically emits O(1)
+    // intervals per stage instead of one per row.
+    std::size_t j = i + 1;
+    while (j < num_rows && rows[j] == rows[j - 1] + 1) ++j;
+    out.push_back(row_range(base, row_bytes, rows[i],
+                            static_cast<std::size_t>(rows[j - 1]) + 1, mode,
+                            label));
+    i = j;
+  }
+}
+
+std::string RaceFinding::to_string() const {
+  std::ostringstream os;
+  os << "unordered conflict: stage #" << stage_a << " \"" << stage_a_name
+     << "\" (" << range_string(access_a) << ") vs stage #" << stage_b << " \""
+     << stage_b_name << "\" (" << range_string(access_b) << ")";
+  return os.str();
+}
+
+std::string RaceReport::summary() const {
+  std::ostringstream os;
+  os << "racecheck[" << graph_label << "]: " << findings.size()
+     << " violation(s); " << annotated_stages << "/" << num_stages
+     << " stages annotated, " << pairs_checked << " unordered pairs checked";
+  for (const RaceFinding& f : findings) os << "\n  " << f.to_string();
+  return os.str();
+}
+
+RaceReport check_stage_dag(const std::vector<StageAccessRecord>& stages,
+                           std::string graph_label) {
+  RaceReport report;
+  report.graph_label = std::move(graph_label);
+  report.num_stages = stages.size();
+
+  const std::size_t n = stages.size();
+  const std::size_t words = (n + 63) / 64;
+
+  // ancestors[i] = bitset of stages that happen-before stage i (transitive
+  // closure over declared deps). Deps reference only earlier ids (the
+  // StageGraph::add invariant), so one ascending pass computes the closure:
+  // by the time stage i is processed, every dep's ancestor set is final.
+  std::vector<std::uint64_t> ancestors(n * words, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t* row = ancestors.data() + i * words;
+    for (int dep : stages[i].deps) {
+      if (dep < 0 || static_cast<std::size_t>(dep) >= i)
+        throw std::invalid_argument(
+            "race_checker: stage dependency must reference an earlier stage");
+      const auto d = static_cast<std::size_t>(dep);
+      row[d / 64] |= std::uint64_t{1} << (d % 64);
+      const std::uint64_t* dep_row = ancestors.data() + d * words;
+      for (std::size_t w = 0; w < words; ++w) row[w] |= dep_row[w];
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    if (!stages[i].accesses.empty()) ++report.annotated_stages;
+
+  // Pairwise scan of annotated, unordered stages. Quadratic in stage count,
+  // but graphs are per-layer (tens to low hundreds of stages) and the check
+  // runs only under ADAQP_RACECHECK=1.
+  for (std::size_t j = 1; j < n; ++j) {
+    if (stages[j].accesses.empty()) continue;
+    const std::uint64_t* row = ancestors.data() + j * words;
+    for (std::size_t i = 0; i < j; ++i) {
+      if (stages[i].accesses.empty()) continue;
+      const bool ordered = (row[i / 64] >> (i % 64)) & 1u;
+      if (ordered) continue;
+      ++report.pairs_checked;
+      // Report the first conflicting access pair per stage pair; one
+      // finding per pair keeps the report readable when a large region
+      // (e.g. a whole matrix) conflicts with many row intervals.
+      bool found = false;
+      for (const BufferAccess& a : stages[i].accesses) {
+        if (found) break;
+        for (const BufferAccess& b : stages[j].accesses) {
+          if (!a.conflicts(b)) continue;
+          RaceFinding f;
+          f.stage_a = static_cast<int>(i);
+          f.stage_b = static_cast<int>(j);
+          f.stage_a_name = stages[i].name;
+          f.stage_b_name = stages[j].name;
+          f.access_a = a;
+          f.access_b = b;
+          report.findings.push_back(std::move(f));
+          found = true;
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+// ---- Configuration --------------------------------------------------------
+
+namespace {
+
+/// -1 = no override (consult the environment), 0 = off, 1 = on.
+std::atomic<int> g_racecheck_override{-1};
+
+}  // namespace
+
+bool racecheck_enabled() {
+  const int ov = g_racecheck_override.load(std::memory_order_acquire);
+  if (ov >= 0) return ov != 0;
+  return env::flag01("ADAQP_RACECHECK", false);
+}
+
+void set_racecheck_override(int mode) {
+  g_racecheck_override.store(mode < 0 ? -1 : (mode != 0 ? 1 : 0),
+                             std::memory_order_release);
+}
+
+RacecheckGuard::RacecheckGuard(bool enabled)
+    : prev_(g_racecheck_override.load(std::memory_order_acquire)) {
+  set_racecheck_override(enabled ? 1 : 0);
+}
+
+RacecheckGuard::~RacecheckGuard() { set_racecheck_override(prev_); }
+
+// ---- Registry -------------------------------------------------------------
+
+namespace {
+
+std::mutex g_registry_mu;
+std::size_t g_graphs_checked = 0;
+std::size_t g_stages_checked = 0;
+std::size_t g_total_findings = 0;
+std::vector<RaceFinding> g_findings;
+
+}  // namespace
+
+RaceCheckRegistry& RaceCheckRegistry::instance() {
+  static RaceCheckRegistry registry;
+  return registry;
+}
+
+void RaceCheckRegistry::record(const RaceReport& report) {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  ++g_graphs_checked;
+  g_stages_checked += report.num_stages;
+  g_total_findings += report.findings.size();
+  for (const RaceFinding& f : report.findings) {
+    if (g_findings.size() >= kMaxStoredFindings) break;
+    g_findings.push_back(f);
+  }
+}
+
+void RaceCheckRegistry::reset() {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  g_graphs_checked = 0;
+  g_stages_checked = 0;
+  g_total_findings = 0;
+  g_findings.clear();
+}
+
+std::size_t RaceCheckRegistry::graphs_checked() const {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  return g_graphs_checked;
+}
+
+std::size_t RaceCheckRegistry::stages_checked() const {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  return g_stages_checked;
+}
+
+std::size_t RaceCheckRegistry::total_findings() const {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  return g_total_findings;
+}
+
+std::vector<RaceFinding> RaceCheckRegistry::findings() const {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  return g_findings;
+}
+
+bool RaceCheckRegistry::write_report_json(const std::string& path) const {
+  std::vector<RaceFinding> findings;
+  std::size_t graphs = 0, stages = 0, total = 0;
+  {
+    std::lock_guard<std::mutex> lk(g_registry_mu);
+    findings = g_findings;
+    graphs = g_graphs_checked;
+    stages = g_stages_checked;
+    total = g_total_findings;
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"traceEvents\": [";
+  bool first = true;
+  for (const RaceFinding& f : findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"name\": \"race: " << json_escape(f.stage_a_name)
+        << " vs " << json_escape(f.stage_b_name)
+        << "\", \"ph\": \"i\", \"ts\": 0, \"pid\": 0, \"tid\": 0, "
+           "\"s\": \"g\", \"cat\": \"racecheck\", \"args\": {"
+        << "\"stage_a\": \"" << json_escape(f.stage_a_name) << "\", "
+        << "\"access_a\": \"" << json_escape(range_string(f.access_a))
+        << "\", \"stage_b\": \"" << json_escape(f.stage_b_name) << "\", "
+        << "\"access_b\": \"" << json_escape(range_string(f.access_b))
+        << "\"}}";
+  }
+  out << "\n  ],\n  \"racecheckSummary\": {\"graphs_checked\": " << graphs
+      << ", \"stages_checked\": " << stages
+      << ", \"total_findings\": " << total
+      << ", \"stored_findings\": " << findings.size() << "}\n}\n";
+  return out.good();
+}
+
+void record_and_enforce(const RaceReport& report) {
+  RaceCheckRegistry::instance().record(report);
+  if (report.clean()) return;
+  if (const auto path = env::text("ADAQP_RACECHECK_REPORT"))
+    RaceCheckRegistry::instance().write_report_json(*path);
+  throw std::runtime_error(report.summary());
+}
+
+}  // namespace adaqp::analysis

@@ -1,0 +1,178 @@
+// Stage-graph race checker — static verification of the determinism
+// contract's "disjoint writes" rule on the pipeline's declared DAGs.
+//
+// The bit-equality tests (tests/test_pipeline.cpp) catch a scheduling race
+// only if it actually fires and perturbs bits on the machine running them.
+// This checker proves the stronger property on every schedule: stages
+// declare the buffer regions they read and write (`BufferAccess`
+// annotations attached at StageGraph::add time), the checker builds the
+// happens-before relation of the graph — reachability over the declared
+// dependency edges; launch/wait barriers order everything outside one graph,
+// and the runtime pool's task-completion edges realize exactly these
+// declared edges at execution time (StageGraph submits a stage only when its
+// last dependency finishes), so intra-graph reachability IS the full
+// happens-before relation — and flags every conflicting access pair
+// (overlapping byte ranges, at least one write) that is unordered. A clean
+// report means: no undeclared concurrent access exists, for ANY schedule
+// the pool could pick, not just the one that ran.
+//
+// Enabled by ADAQP_RACECHECK=1 (strict 0/1 parse via common/env.h, in-process
+// override for tests). When enabled, StageGraph checks the DAG as part of
+// wait()/run_serial(), records the result in the process-wide
+// RaceCheckRegistry, and throws on violations so a racy graph fails loudly
+// in CI. ADAQP_RACECHECK_REPORT=<path> additionally dumps a
+// Chrome-trace-style JSON report of the violations for offline triage.
+//
+// Annotations are declarative and best-effort precise: row-granular for
+// matrix row sets (`row_set` compresses a row list into contiguous byte
+// intervals) and whole-object for opaque state (caches, RNGs, accounting
+// slots). A stage with NO declared accesses is treated as opaque and skipped
+// — partial annotation never produces false positives, it only narrows the
+// proof. docs/ANALYSIS.md walks through annotating a new stage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaqp::analysis {
+
+/// One declared byte-range access [begin, end) of a stage.
+struct BufferAccess {
+  enum class Mode : std::uint8_t { kRead, kWrite };
+
+  std::uintptr_t begin = 0;
+  std::uintptr_t end = 0;
+  Mode mode = Mode::kRead;
+  /// Human-readable region name shown in violation reports,
+  /// e.g. "acts[2][d1].halo_rows".
+  std::string label;
+
+  bool overlaps(const BufferAccess& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  bool conflicts(const BufferAccess& other) const {
+    return (mode == Mode::kWrite || other.mode == Mode::kWrite) &&
+           overlaps(other);
+  }
+};
+
+using AccessList = std::vector<BufferAccess>;
+
+/// Whole-object read / write of `bytes` bytes at `p`.
+BufferAccess read_of(const void* p, std::size_t bytes, std::string label);
+BufferAccess write_of(const void* p, std::size_t bytes, std::string label);
+
+/// Row-set access over a row-major buffer: rows `rows` of a matrix whose
+/// row r starts at base + r * row_bytes. Consecutive row ids are compressed
+/// into one interval, so a typical halo row list yields a handful of ranges.
+/// Appends to `out`.
+void append_row_set(AccessList& out, const void* base, std::size_t row_bytes,
+                    const std::uint32_t* rows, std::size_t num_rows,
+                    BufferAccess::Mode mode, const std::string& label);
+
+/// Contiguous row range [row_begin, row_end) of the same layout.
+BufferAccess row_range(const void* base, std::size_t row_bytes,
+                       std::size_t row_begin, std::size_t row_end,
+                       BufferAccess::Mode mode, std::string label);
+
+/// What the checker needs to know about one stage: its display name, the
+/// ids of its direct dependencies (indices < its own), and its declared
+/// accesses (empty = opaque, skipped).
+struct StageAccessRecord {
+  std::string name;
+  std::vector<int> deps;
+  AccessList accesses;
+};
+
+/// One unordered conflicting access pair.
+struct RaceFinding {
+  int stage_a = -1;
+  int stage_b = -1;
+  std::string stage_a_name;
+  std::string stage_b_name;
+  BufferAccess access_a;
+  BufferAccess access_b;
+
+  std::string to_string() const;
+};
+
+/// Result of checking one stage graph.
+struct RaceReport {
+  std::string graph_label;
+  std::size_t num_stages = 0;
+  std::size_t annotated_stages = 0;
+  std::size_t pairs_checked = 0;  ///< unordered annotated pairs examined
+  std::vector<RaceFinding> findings;
+
+  bool clean() const { return findings.empty(); }
+  /// Multi-line human-readable summary (violations first).
+  std::string summary() const;
+};
+
+/// Check one DAG: happens-before = reachability over `deps`; report every
+/// conflicting access pair of two unordered stages. Stages must reference
+/// only earlier ids (the StageGraph::add invariant). At most one finding is
+/// reported per stage pair (the first conflicting access pair found).
+RaceReport check_stage_dag(const std::vector<StageAccessRecord>& stages,
+                           std::string graph_label);
+
+// ---- Configuration (ADAQP_RACECHECK) --------------------------------------
+
+/// True when stage graphs should be race-checked on completion. Reads
+/// ADAQP_RACECHECK via the strict env helpers (unset -> false); an override
+/// installed via set_racecheck_override wins.
+bool racecheck_enabled();
+
+/// Force the mode in-process: 0 = off, 1 = on, -1 = back to the environment.
+void set_racecheck_override(int mode);
+
+/// Scoped override; restores the previous override state on destruction.
+class RacecheckGuard {
+ public:
+  explicit RacecheckGuard(bool enabled);
+  ~RacecheckGuard();
+  RacecheckGuard(const RacecheckGuard&) = delete;
+  RacecheckGuard& operator=(const RacecheckGuard&) = delete;
+
+ private:
+  int prev_;
+};
+
+// ---- Process-wide result accumulator --------------------------------------
+
+/// Accumulates every report of the process so tests and tools can assert
+/// "N graphs checked, zero violations" after a run. Thread-safe; findings
+/// are capped (kMaxStoredFindings) to bound memory on a pathological graph.
+class RaceCheckRegistry {
+ public:
+  static constexpr std::size_t kMaxStoredFindings = 256;
+
+  static RaceCheckRegistry& instance();
+
+  void record(const RaceReport& report);
+  void reset();
+
+  std::size_t graphs_checked() const;
+  std::size_t stages_checked() const;
+  std::size_t total_findings() const;
+  std::vector<RaceFinding> findings() const;
+
+  /// Chrome-trace-style JSON ({"traceEvents": [...]}, one instant event per
+  /// violation with the conflicting ranges in "args") — loadable in
+  /// chrome://tracing / Perfetto next to an ADAQP_TRACE capture. Returns
+  /// false if the file could not be opened.
+  bool write_report_json(const std::string& path) const;
+
+ private:
+  RaceCheckRegistry() = default;
+};
+
+/// Registry record + optional ADAQP_RACECHECK_REPORT dump + throw on
+/// violations — the completion hook StageGraph calls when racecheck is
+/// enabled. Throws std::runtime_error with the report summary when the
+/// report is not clean.
+void record_and_enforce(const RaceReport& report);
+
+}  // namespace adaqp::analysis

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <string>
 
+#include "analysis/race_checker.h"
 #include "common/check.h"
+#include "common/env.h"
 #include "core/timing.h"
 #include "gnn/loss.h"
 #include "pipeline/async_exchange.h"
@@ -50,6 +51,32 @@ double allreduce_seconds(const ClusterSpec& cluster, std::size_t bytes) {
   }
   const double chunk = static_cast<double>(bytes) / n;
   return 2.0 * (n - 1) * (worst_theta * chunk + worst_gamma);
+}
+
+// ---- Race-checker annotations (ADAQP_RACECHECK) ---------------------------
+//
+// The compute stages of the fused forward/backward graphs declare their row
+// intervals so the checker can prove the central/marginal split and the
+// exchange stages never touch the same bytes unordered. Lists are built only
+// when the checker is enabled.
+
+using analysis::AccessList;
+using analysis::BufferAccess;
+
+constexpr auto kRcRead = BufferAccess::Mode::kRead;
+constexpr auto kRcWrite = BufferAccess::Mode::kWrite;
+
+void rc_rows(AccessList& out, const Matrix& m, std::span<const NodeId> rows,
+             BufferAccess::Mode mode, const std::string& label) {
+  analysis::append_row_set(out, m.data(), m.cols() * sizeof(float),
+                           rows.data(), rows.size(), mode, label);
+}
+
+BufferAccess rc_row_range(const Matrix& m, std::size_t row_begin,
+                          std::size_t row_end, BufferAccess::Mode mode,
+                          std::string label) {
+  return analysis::row_range(m.data(), m.cols() * sizeof(float), row_begin,
+                             row_end, mode, std::move(label));
 }
 
 }  // namespace
@@ -344,35 +371,66 @@ EpochBreakdown DistTrainer::adaqp_forward_layer(int l, bool training) {
     std::string prefix = "L";
     prefix += std::to_string(l);
     pipeline::StageGraph graph;
+    graph.set_label(prefix + "/forward");
     pipeline::ExchangeAccounting acct;
     acct.init(num_devices_, device_rngs_);
     const pipeline::PairStages pair = pipeline::add_forward_exchange_stages(
         graph, dist_, acts_[l], fwd_plans_[l], acct);
     std::vector<int> central(num_devices_, -1);
     for (int d = 0; d < num_devices_; ++d) {
+      const DeviceGraph& dev = dist_.devices[d];
+      const std::string dn = "d" + std::to_string(d);
+      AccessList acc;
+      if (analysis::racecheck_enabled()) {
+        // Central rows aggregate only owned neighbors (layers.h), so the
+        // read never touches the halo rows the fwd stages are decoding into.
+        acc.push_back(rc_row_range(acts_[l][d], 0, dev.num_owned, kRcRead,
+                                   "x[" + dn + "].owned_rows"));
+        rc_rows(acc, acts_[l + 1][d], dev.central_span(), kRcWrite,
+                "h[" + dn + "].central_rows");
+        acc.push_back(analysis::write_of(&caches_[l][d], sizeof(caches_[l][d]),
+                                         "cache[" + dn + "]"));
+        acc.push_back(analysis::write_of(&device_rngs_[d],
+                                         sizeof(device_rngs_[d]),
+                                         "rng[" + dn + "]"));
+      }
       central[d] = graph.add(
-          prefix + "/central/d" + std::to_string(d),
+          prefix + "/central/" + dn,
           [this, &layer, l, d, training] {
-            const DeviceGraph& dev = dist_.devices[d];
-            layer.forward_prepare(dev, caches_[l][d], device_rngs_[d],
+            const DeviceGraph& device = dist_.devices[d];
+            layer.forward_prepare(device, caches_[l][d], device_rngs_[d],
                                   training);
-            layer.forward_rows(dev, acts_[l][d], acts_[l + 1][d],
-                               caches_[l][d], dev.central_span());
-          });
+            layer.forward_rows(device, acts_[l][d], acts_[l + 1][d],
+                               caches_[l][d], device.central_span());
+          },
+          {}, std::move(acc));
     }
     for (int d = 0; d < num_devices_; ++d) {
       const DeviceGraph& dev = dist_.devices[d];
+      const std::string dn = "d" + std::to_string(d);
       std::vector<int> deps{central[d]};
       for (int p : dev.halo_senders)
         if (pair.stage[p][d] >= 0) deps.push_back(pair.stage[p][d]);
+      AccessList acc;
+      if (analysis::racecheck_enabled()) {
+        // Marginal rows aggregate halo neighbors too, so the read covers the
+        // whole local matrix — the deps on this device's inbound decodes are
+        // exactly what orders it.
+        acc.push_back(rc_row_range(acts_[l][d], 0, dev.num_local(), kRcRead,
+                                   "x[" + dn + "].local_rows"));
+        rc_rows(acc, acts_[l + 1][d], dev.marginal_span(), kRcWrite,
+                "h[" + dn + "].marginal_rows");
+        acc.push_back(analysis::write_of(&caches_[l][d], sizeof(caches_[l][d]),
+                                         "cache[" + dn + "]"));
+      }
       graph.add(
-          prefix + "/marginal/d" + std::to_string(d),
+          prefix + "/marginal/" + dn,
           [this, &layer, l, d] {
             const DeviceGraph& device = dist_.devices[d];
             layer.forward_rows(device, acts_[l][d], acts_[l + 1][d],
                                caches_[l][d], device.marginal_span());
           },
-          deps);
+          deps, std::move(acc));
     }
     graph.run(/*async=*/true);
     stats = pipeline::finalize_exchange_stats(acct, dist_, cluster_);
@@ -649,6 +707,7 @@ EpochBreakdown DistTrainer::adaqp_backward_layer(int l,
   prefix += std::to_string(l);
   prefix += "b";
   pipeline::StageGraph graph;
+  graph.set_label(prefix + "/backward");
   pipeline::ExchangeAccounting acct;
   acct.init(num_devices_, device_rngs_);
 
@@ -661,37 +720,81 @@ EpochBreakdown DistTrainer::adaqp_backward_layer(int l,
   std::vector<int> central(num_devices_, -1);
   std::vector<int> trace(num_devices_, -1);
   for (int d = 0; d < num_devices_; ++d) {
+    const DeviceGraph& dev = dist_.devices[d];
+    const std::string dn = "d" + std::to_string(d);
     // Marginal-row adjoint: produces every halo gradient row this device
     // will ship, unblocking its encode stages.
+    AccessList acc;
+    if (analysis::racecheck_enabled()) {
+      // The marginal adjoint scatters into neighbors of marginal rows —
+      // owned and halo rows alike — so its write claims the whole local
+      // gradient matrix; everything downstream is ordered behind it.
+      acc.push_back(rc_row_range(grads[d], 0, dev.num_local(), kRcRead,
+                                 "grad_out[" + dn + "]"));
+      acc.push_back(rc_row_range(grad_x[d], 0, dev.num_local(), kRcWrite,
+                                 "grad[" + dn + "].local_rows"));
+      acc.push_back(analysis::read_of(&caches_[l][d], sizeof(caches_[l][d]),
+                                      "cache[" + dn + "]"));
+      acc.push_back(analysis::read_of(&layer, sizeof(layer), "layer"));
+      acc.push_back(analysis::write_of(&marginal_sinks[d],
+                                       sizeof(marginal_sinks[d]),
+                                       "marginal_sinks[" + dn + "]"));
+    }
     marginal[d] = graph.add(
-        prefix + "/marginal/d" + std::to_string(d),
+        prefix + "/marginal/" + dn,
         [this, &layer, &grads, &grad_x, &marginal_sinks, l, d] {
-          const DeviceGraph& dev = dist_.devices[d];
-          layer.backward_rows(dev, grads[d], caches_[l][d], grad_x[d],
-                              marginal_sinks[d], dev.marginal_span());
-        });
+          const DeviceGraph& device = dist_.devices[d];
+          layer.backward_rows(device, grads[d], caches_[l][d], grad_x[d],
+                              marginal_sinks[d], device.marginal_span());
+        },
+        {}, std::move(acc));
   }
   for (int d = 0; d < num_devices_; ++d) {
+    const DeviceGraph& dev = dist_.devices[d];
+    const std::string dn = "d" + std::to_string(d);
     // Central-row adjoint: owned-row writes only — this is the compute that
     // runs while the halo-gradient exchange is on the wire.
+    AccessList acc;
+    if (analysis::racecheck_enabled()) {
+      acc.push_back(rc_row_range(grads[d], 0, dev.num_local(), kRcRead,
+                                 "grad_out[" + dn + "]"));
+      acc.push_back(rc_row_range(grad_x[d], 0, dev.num_owned, kRcWrite,
+                                 "grad[" + dn + "].owned_rows"));
+      acc.push_back(analysis::read_of(&caches_[l][d], sizeof(caches_[l][d]),
+                                      "cache[" + dn + "]"));
+      acc.push_back(analysis::read_of(&layer, sizeof(layer), "layer"));
+      acc.push_back(analysis::write_of(&central_sinks[d],
+                                       sizeof(central_sinks[d]),
+                                       "central_sinks[" + dn + "]"));
+    }
     central[d] = graph.add(
-        prefix + "/central/d" + std::to_string(d),
+        prefix + "/central/" + dn,
         [this, &layer, &grads, &grad_x, &central_sinks, l, d] {
-          const DeviceGraph& dev = dist_.devices[d];
-          layer.backward_rows(dev, grads[d], caches_[l][d], grad_x[d],
-                              central_sinks[d], dev.central_span());
+          const DeviceGraph& device = dist_.devices[d];
+          layer.backward_rows(device, grads[d], caches_[l][d], grad_x[d],
+                              central_sinks[d], device.central_span());
         },
-        {marginal[d]});
+        {marginal[d]}, std::move(acc));
   }
   for (int d = 0; d < num_devices_; ++d) {
+    const DeviceGraph& dev = dist_.devices[d];
+    const std::string dn = "d" + std::to_string(d);
     // Assigner range trace: needs the complete local adjoint but must
     // precede the exchange's mutations (owner accumulate, halo zero).
+    AccessList acc;
+    if (analysis::racecheck_enabled()) {
+      acc.push_back(rc_row_range(grad_x[d], 0, dev.num_local(), kRcRead,
+                                 "grad[" + dn + "].local_rows"));
+      acc.push_back(analysis::write_of(&bwd_ranges_[l][d],
+                                       sizeof(bwd_ranges_[l][d]),
+                                       "bwd_ranges[" + dn + "]"));
+    }
     trace[d] = graph.add(
-        prefix + "/trace/d" + std::to_string(d),
+        prefix + "/trace/" + dn,
         [this, &grad_x, l, d] {
           bwd_ranges_[l][d] = row_ranges_of(grad_x[d]);
         },
-        {central[d]});
+        {central[d]}, std::move(acc));
   }
   pipeline::BackwardStageDeps deps;
   deps.encode = marginal;     // halo rows are complete
@@ -702,6 +805,19 @@ EpochBreakdown DistTrainer::adaqp_backward_layer(int l,
   // Shared parameter-gradient fold: one serial stage, concurrent with the
   // wire stages, in fixed device-then-subset order.
   std::vector<int> fold_deps(central.begin(), central.end());
+  AccessList fold_acc;
+  if (analysis::racecheck_enabled()) {
+    fold_acc.push_back(analysis::write_of(&layer, sizeof(layer), "layer"));
+    for (int d = 0; d < num_devices_; ++d) {
+      const std::string dn = "d" + std::to_string(d);
+      fold_acc.push_back(analysis::read_of(&marginal_sinks[d],
+                                           sizeof(marginal_sinks[d]),
+                                           "marginal_sinks[" + dn + "]"));
+      fold_acc.push_back(analysis::read_of(&central_sinks[d],
+                                           sizeof(central_sinks[d]),
+                                           "central_sinks[" + dn + "]"));
+    }
+  }
   graph.add(
       prefix + "/fold",
       [this, &marginal_sinks, &central_sinks, l] {
@@ -710,7 +826,7 @@ EpochBreakdown DistTrainer::adaqp_backward_layer(int l,
           model_.layer(l).apply_grads(central_sinks[d]);
         }
       },
-      fold_deps);
+      fold_deps, std::move(fold_acc));
   graph.run(async_pipeline_);
 
   const ExchangeStats stats =
@@ -874,8 +990,7 @@ RunResult DistTrainer::run() {
 
   // ADAQP_TRACE=<path>: record every pipeline stage of this run and write a
   // Chrome trace_event JSON there (open in chrome://tracing / Perfetto).
-  const char* trace_env = std::getenv("ADAQP_TRACE");
-  const std::string trace_path = trace_env ? trace_env : "";
+  const std::string trace_path = env::text("ADAQP_TRACE").value_or("");
   if (!trace_path.empty()) pipeline::TraceRecorder::instance().start();
 
   for (int e = 0; e < opts_.epochs; ++e) {

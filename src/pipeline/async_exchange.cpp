@@ -48,6 +48,40 @@ std::string stage_name(const char* kind, int d, int p) {
   return name;
 }
 
+// ---- Race-checker annotations (ADAQP_RACECHECK) ---------------------------
+//
+// Each stage declares exactly the bytes it touches: row sets of the device
+// matrices (row-granular, so the checker can prove e.g. that encodes reading
+// halo rows never collide with owner accumulation into owned rows) plus the
+// per-pair accounting slots. Built only when the checker is enabled.
+
+using analysis::AccessList;
+using analysis::BufferAccess;
+
+constexpr auto kRead = BufferAccess::Mode::kRead;
+constexpr auto kWrite = BufferAccess::Mode::kWrite;
+
+void add_rows(AccessList& out, const Matrix& m,
+              const std::vector<NodeId>& rows, BufferAccess::Mode mode,
+              const std::string& label) {
+  analysis::append_row_set(out, m.data(), m.cols() * sizeof(float),
+                           rows.data(), rows.size(), mode, label);
+}
+
+/// The stats/RNG slots every encode stage owns exclusively.
+void add_pair_slots(AccessList& out, ExchangeAccounting& acct, int d, int p,
+                    const std::string& tag) {
+  out.push_back(analysis::write_of(&acct.pair_bytes[d][p],
+                                   sizeof(acct.pair_bytes[d][p]),
+                                   tag + ".pair_bytes"));
+  out.push_back(analysis::write_of(&acct.fp_bytes[d][p],
+                                   sizeof(acct.fp_bytes[d][p]),
+                                   tag + ".fp_bytes"));
+  out.push_back(analysis::write_of(&acct.pair_rngs[d][p],
+                                   sizeof(acct.pair_rngs[d][p]),
+                                   tag + ".rng"));
+}
+
 }  // namespace
 
 void ExchangeAccounting::init(int n, std::vector<Rng>& device_rngs) {
@@ -93,8 +127,19 @@ PairStages add_forward_exchange_stages(StageGraph& graph,
       // pair's private stream and decode straight into the receiver's halo
       // rows. Each stage writes its own halo-row slice and stats slots, so
       // all forward stages are mutually independent.
+      const std::string name = stage_name("fwd", d, p);
+      AccessList acc;
+      if (analysis::racecheck_enabled()) {
+        add_rows(acc, locals[d], dev.send_local[p], kRead,
+                 "x[d" + std::to_string(d) + "].boundary_rows(d" +
+                     std::to_string(p) + ")");
+        add_rows(acc, locals[p], dist.devices[p].recv_local[d], kWrite,
+                 "x[d" + std::to_string(p) + "].halo_rows(d" +
+                     std::to_string(d) + ")");
+        add_pair_slots(acc, acct, d, p, name);
+      }
       out.stage[d][p] = graph.add(
-          stage_name("fwd", d, p),
+          name,
           [&dist, &locals, &plan, &acct, d, p] {
             const DeviceGraph& sender = dist.devices[d];
             const auto& bits = plan.bits[d][p];
@@ -104,7 +149,8 @@ PairStages add_forward_exchange_stages(StageGraph& graph,
             acct.fp_bytes[d][p] =
                 quantized_fp_bytes(bits, locals[d].cols());
             decode_rows(block, locals[p], dist.devices[p].recv_local[d]);
-          });
+          },
+          {}, std::move(acc));
     }
   }
   return out;
@@ -139,8 +185,19 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
       enc_deps.push_back(dep);
     for (int p = 0; p < n; ++p) {
       if (p == d || dev.recv_local[p].empty()) continue;
+      const std::string name = stage_name("bwd-enc", d, p);
+      AccessList acc;
+      if (analysis::racecheck_enabled()) {
+        add_rows(acc, grads[d], dev.recv_local[p], kRead,
+                 "grad[d" + std::to_string(d) + "].halo_rows(d" +
+                     std::to_string(p) + ")");
+        acc.push_back(analysis::write_of(&acct.blocks[d][p],
+                                         sizeof(acct.blocks[d][p]),
+                                         name + ".block"));
+        add_pair_slots(acc, acct, d, p, name);
+      }
       out.stage[d][p] = graph.add(
-          stage_name("bwd-enc", d, p),
+          name,
           [&dist, &grads, &plan, &acct, d, p] {
             const DeviceGraph& sender = dist.devices[d];
             const auto& bits = plan.bits[d][p];
@@ -150,7 +207,7 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
             acct.fp_bytes[d][p] =
                 quantized_fp_bytes(bits, grads[d].cols());
           },
-          enc_deps);
+          enc_deps, std::move(acc));
     }
   }
 
@@ -164,8 +221,22 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
     if (acc_deps.empty()) continue;
     if (const int dep = extra_dep(deps.accumulate, p); dep >= 0)
       acc_deps.push_back(dep);
+    const std::string name = stage_name("bwd-acc", p, -1);
+    AccessList acc;
+    if (analysis::racecheck_enabled()) {
+      for (int d = 0; d < n; ++d) {
+        if (out.stage[d][p] < 0) continue;
+        acc.push_back(analysis::read_of(&acct.blocks[d][p],
+                                        sizeof(acct.blocks[d][p]),
+                                        stage_name("bwd-enc", d, p) +
+                                            ".block"));
+        add_rows(acc, grads[p], dist.devices[p].send_local[d], kWrite,
+                 "grad[d" + std::to_string(p) + "].boundary_rows(d" +
+                     std::to_string(d) + ")");
+      }
+    }
     out.owner_stage[p] = graph.add(
-        stage_name("bwd-acc", p, -1),
+        name,
         [&dist, &grads, &acct, p, n] {
           for (int d = 0; d < n; ++d) {
             if (d == p || acct.blocks[d][p].bytes.empty()) continue;
@@ -182,7 +253,7 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
             }
           }
         },
-        acc_deps);
+        acc_deps, std::move(acc));
   }
 
   // Phase 3 stages — zero each device's halo rows once its own encodes (and
@@ -196,6 +267,12 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
       zero_deps.push_back(dep);
     const DeviceGraph& dev = dist.devices[d];
     if (dev.num_halo == 0) continue;
+    AccessList acc;
+    if (analysis::racecheck_enabled())
+      acc.push_back(analysis::row_range(
+          grads[d].data(), grads[d].cols() * sizeof(float), dev.num_owned,
+          dev.num_local(), kWrite,
+          "grad[d" + std::to_string(d) + "].halo_rows"));
     graph.add(
         stage_name("bwd-zero", d, -1),
         [&dist, &grads, d] {
@@ -205,7 +282,7 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
             std::fill(row.begin(), row.end(), 0.0f);
           }
         },
-        zero_deps);
+        zero_deps, std::move(acc));
   }
   return out;
 }
@@ -255,6 +332,7 @@ void AsyncExchange::submit_forward(std::vector<Matrix>& locals,
   ADAQP_CHECK(static_cast<int>(rngs.size()) == dist_.num_devices());
   submitted_ = true;
   async_ = async;
+  graph_.set_label("halo-exchange/forward");
   acct_.init(dist_.num_devices(), rngs);
   stages_ = add_forward_exchange_stages(graph_, dist_, locals, plan, acct_);
   if (async_) graph_.launch();
@@ -267,6 +345,7 @@ void AsyncExchange::submit_backward(std::vector<Matrix>& grads,
   ADAQP_CHECK(static_cast<int>(rngs.size()) == dist_.num_devices());
   submitted_ = true;
   async_ = async;
+  graph_.set_label("halo-exchange/backward");
   acct_.init(dist_.num_devices(), rngs);
   stages_ = add_backward_exchange_stages(graph_, dist_, grads, plan, acct_);
   if (async_) graph_.launch();

@@ -1,11 +1,8 @@
 #include "pipeline/config.h"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
-#include <sstream>
-#include <stdexcept>
-#include <string>
+
+#include "common/env.h"
 
 namespace adaqp::pipeline {
 
@@ -19,15 +16,9 @@ std::atomic<int> g_override{-1};
 bool async_enabled() {
   const int ov = g_override.load(std::memory_order_acquire);
   if (ov >= 0) return ov != 0;
-  const char* env = std::getenv("ADAQP_ASYNC");
-  if (env == nullptr || *env == '\0') return true;
-  if (std::strcmp(env, "0") == 0) return false;
-  if (std::strcmp(env, "1") == 0) return true;
-  std::ostringstream msg;
-  msg << "ADAQP_ASYNC must be 0 (sync phased execution) or 1 (async stage "
-         "scheduler); got \""
-      << env << "\"";
-  throw std::runtime_error(msg.str());
+  // 0 = sync phased execution, 1 = async stage scheduler (the default);
+  // anything else throws via the strict shared parser.
+  return env::flag01("ADAQP_ASYNC", true);
 }
 
 void set_async_override(int mode) {

@@ -11,10 +11,14 @@
 namespace adaqp::pipeline {
 
 void Event::set() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    done_ = true;
-  }
+  // The notify must stay under the lock: an Event dies with its StageGraph
+  // as soon as a waiter observes done_, and every observation path (done(),
+  // the wait() predicate) acquires mu_ — so a waiter can only destroy this
+  // object after set() has released mu_, i.e. after notify_all() returned.
+  // Notifying after unlock reintroduces a destroy-while-broadcast race on
+  // the condvar (found by TSan; pinned by SanitizerRegression tests).
+  std::lock_guard<std::mutex> lk(mu_);
+  done_ = true;
   cv_.notify_all();
 }
 
@@ -40,12 +44,18 @@ void Event::wait() {
 
 int StageGraph::add(std::string name, StageFn fn,
                     const std::vector<int>& deps) {
+  return add(std::move(name), std::move(fn), deps, {});
+}
+
+int StageGraph::add(std::string name, StageFn fn, const std::vector<int>& deps,
+                    analysis::AccessList accesses) {
   ADAQP_CHECK_MSG(!launched_, "StageGraph::add after launch");
   const int id = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   Node& node = nodes_.back();
   node.name = std::move(name);
   node.fn = std::move(fn);
+  node.accesses = std::move(accesses);
   node.pending = 0;
   for (int dep : deps) {
     ADAQP_CHECK_MSG(dep >= 0 && dep < id,
@@ -54,7 +64,20 @@ int StageGraph::add(std::string name, StageFn fn,
     nodes_[dep].dependents.push_back(id);
     ++node.pending;
   }
+  node.deps = deps;
   return id;
+}
+
+void StageGraph::maybe_racecheck() const {
+  if (!analysis::racecheck_enabled()) return;
+  std::vector<analysis::StageAccessRecord> records;
+  records.reserve(nodes_.size());
+  for (const Node& node : nodes_)
+    records.push_back({node.name, node.deps, node.accesses});
+  // Records to the process-wide registry and throws on violations — before
+  // any stage has run, so a declared race never executes under the checker.
+  analysis::record_and_enforce(
+      analysis::check_stage_dag(std::move(records), label_));
 }
 
 Event& StageGraph::stage_done(int id) {
@@ -88,14 +111,22 @@ void StageGraph::finish_stage(std::size_t id) {
   node.done.set();
   std::vector<int> ready;
   bool all_finished = false;
+  bool async = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (int dep : node.dependents) {
       if (--nodes_[dep].pending == 0) ready.push_back(dep);
     }
     all_finished = --remaining_ == 0;
+    // Snapshot under the lock: once we release mu_ without being the final
+    // finisher, a concurrent finish_stage can complete the graph and the
+    // owner may destroy it — from here on `this` is only touched if
+    // all_finished (we gate all_done_, so the owner can't be done waiting)
+    // or if ready is non-empty (those stages are counted in remaining_ and
+    // cannot finish before we submit them, so the graph stays alive).
+    async = async_mode_;
   }
-  if (async_mode_) {
+  if (async) {
     ThreadPool& pool = global_pool();
     for (int id_ready : ready)
       pool.submit([this, id_ready] {
@@ -109,6 +140,7 @@ void StageGraph::finish_stage(std::size_t id) {
 
 void StageGraph::launch() {
   ADAQP_CHECK_MSG(!launched_, "StageGraph launched twice");
+  maybe_racecheck();
   launched_ = true;
   async_mode_ = true;
   remaining_ = nodes_.size();
@@ -140,6 +172,7 @@ void StageGraph::wait() {
 
 void StageGraph::run_serial() {
   ADAQP_CHECK_MSG(!launched_, "StageGraph::run_serial after launch");
+  maybe_racecheck();
   launched_ = true;
   async_mode_ = false;
   remaining_ = nodes_.size();

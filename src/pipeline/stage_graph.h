@@ -48,6 +48,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/race_checker.h"
+
 namespace adaqp::pipeline {
 
 /// One-shot completion handle. set() is sticky; wait() helps the thread
@@ -80,6 +82,18 @@ class StageGraph {
   /// Returns the stage id.
   int add(std::string name, StageFn fn, const std::vector<int>& deps = {});
 
+  /// Same, with declared buffer accesses for the race checker (see
+  /// analysis/race_checker.h). Under ADAQP_RACECHECK=1, launch() /
+  /// run_serial() verify that every conflicting access pair is ordered by
+  /// the declared dependencies *before* any stage runs, and throw with a
+  /// violation report otherwise. Stages added without accesses are opaque
+  /// to the checker.
+  int add(std::string name, StageFn fn, const std::vector<int>& deps,
+          analysis::AccessList accesses);
+
+  /// Label used for racecheck reports (default "stage-graph").
+  void set_label(std::string label) { label_ = std::move(label); }
+
   std::size_t size() const { return nodes_.size(); }
 
   /// Completion handle of one stage (valid until the graph is destroyed).
@@ -105,13 +119,18 @@ class StageGraph {
   struct Node {
     std::string name;
     StageFn fn;
+    std::vector<int> deps;  ///< kept for the race checker
     std::vector<int> dependents;
+    analysis::AccessList accesses;
     int pending = 0;  ///< unfinished dependencies; guarded by mu_
     Event done;
   };
 
   void run_stage(std::size_t id);
   void finish_stage(std::size_t id);
+  /// Racecheck hook: no-op unless racecheck_enabled(); otherwise checks the
+  /// declared DAG + accesses and throws before any stage has run.
+  void maybe_racecheck() const;
 
   // Nodes are stored in a deque so Node addresses (and their Events) stay
   // stable as stages are added.
@@ -120,6 +139,7 @@ class StageGraph {
   std::size_t remaining_ = 0;
   std::exception_ptr error_;
   Event all_done_;
+  std::string label_ = "stage-graph";
   bool launched_ = false;
   bool async_mode_ = false;
 };

@@ -1,9 +1,10 @@
 #include "runtime/thread_pool.h"
 
+#include "common/env.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -203,13 +204,11 @@ std::atomic<ThreadPool*> g_pool_fast{nullptr};  ///< lock-free lookup path
 }  // namespace
 
 int configured_threads() {
-  if (const char* env = std::getenv("ADAQP_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    // A parseable value is clamped to [1, 256]; unparseable text falls
-    // through to the hardware default.
-    if (end != env) return static_cast<int>(v < 1 ? 1 : (v > 256 ? 256 : v));
-  }
+  // Strict parse (docs/ENVVARS.md): a malformed ADAQP_THREADS throws rather
+  // than silently running on the hardware default; parsed values clamp to
+  // [1, 256].
+  if (const auto v = env::int_in_range("ADAQP_THREADS", 1, 256))
+    return static_cast<int>(*v);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? static_cast<int>(hw) : 1;
 }

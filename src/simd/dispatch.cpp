@@ -1,11 +1,11 @@
 // ISA resolution and the kernel registry (see isa.h / kernels.h).
 #include <atomic>
-#include <cstdlib>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "common/env.h"
 #include "simd/isa.h"
 #include "simd/kernels.h"
 
@@ -136,9 +136,9 @@ std::vector<Isa> supported_isas() {
 Isa active_isa() {
   const int ov = g_override.load(std::memory_order_acquire);
   if (ov >= 0) return static_cast<Isa>(ov);
-  const char* env = std::getenv("ADAQP_ISA");
-  if (env == nullptr || *env == '\0') return detected_isa();
-  const Isa isa = parse_isa(env);
+  const auto value = env::text("ADAQP_ISA");
+  if (!value) return detected_isa();
+  const Isa isa = parse_isa(*value);
   if (!isa_supported(isa)) throw_unsupported(isa);
   return isa;
 }
