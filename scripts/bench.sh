@@ -7,7 +7,11 @@
 # ROADMAP "re-record on multi-core" check is now just reading the file.
 # bench_table7_scalability is swept over THREAD_COUNTS so the multi-thread
 # speedup of the runtime is recorded; bench_pipeline_overlap records the
-# async pipeline's measured exchange||central overlap efficiency.
+# async pipeline's measured exchange||central overlap efficiency. The run
+# record also carries the zero-allocation steady-state gate result
+# (bench_alloc_steady_state — the script aborts on a regression) and the
+# aggregation/error-feedback kernel speedups vs scalar per SIMD ISA
+# (bench_aggregate_kernels).
 #
 # Env knobs:
 #   BUILD_DIR          build directory (default: build)
@@ -29,11 +33,14 @@ OVERLAP_ARGS=()
 if [[ ! -x "$BUILD_DIR/bench_table4_main" ||
       ! -x "$BUILD_DIR/bench_table7_scalability" ||
       ! -x "$BUILD_DIR/bench_pipeline_overlap" ||
+      ! -x "$BUILD_DIR/bench_alloc_steady_state" ||
+      ! -x "$BUILD_DIR/bench_aggregate_kernels" ||
       ! -x "$BUILD_DIR/isa_info" ]]; then
   cmake -B "$BUILD_DIR" -S . >/dev/null
   cmake --build "$BUILD_DIR" -j \
     --target bench_table4_main bench_table7_scalability \
-             bench_pipeline_overlap isa_info >/dev/null
+             bench_pipeline_overlap bench_alloc_steady_state \
+             bench_aggregate_kernels isa_info >/dev/null
 fi
 
 # SIMD ISA the kernel registry dispatches to for this run (honors ADAQP_ISA).
@@ -93,6 +100,50 @@ t1=$(now)
 overlap_wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
 ocsv=bench/out/pipeline_overlap.csv
 append_entry "{\"bench\":\"bench_pipeline_overlap\",\"threads\":$(nproc),\"wall_seconds\":$overlap_wall,\"overlap_efficiency\":$(metric_value "$ocsv" "measured overlap efficiency"),\"sync_over_async_speedup\":$(metric_value "$ocsv" "wall speedup sync/async")}"
+
+# Zero-allocation steady state (docs/ARCHITECTURE.md, "Memory subsystem"):
+# every method x async mode x thread count must finish its warm epochs with
+# zero heap allocations. The bench exits 1 on a regression, which aborts
+# this script (set -e) — a run record is only appended for a clean gate.
+echo "[bench.sh] bench_alloc_steady_state (threads: $THREAD_COUNTS) ..." >&2
+t0=$(now)
+"./$BUILD_DIR/bench_alloc_steady_state" --threads "$THREAD_COUNTS" >/dev/null
+t1=$(now)
+alloc_wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
+acsv=bench/out/alloc_steady_state.csv
+alloc_cases=$(awk -F',' 'NR > 1 { n++ } END { print n + 0 }' "$acsv")
+alloc_warm=$(awk -F',' 'NR > 1 { s += $5 } END { print s + 0 }' "$acsv")
+append_entry "{\"bench\":\"bench_alloc_steady_state\",\"wall_seconds\":$alloc_wall,\"cases\":$alloc_cases,\"warm_allocs_total\":$alloc_warm,\"steady_state_zero_alloc\":true}"
+
+# Kernel matrix: aggregation / error-feedback kernel throughput per ISA at
+# cache-resident sizes, recorded as speedup vs the scalar reference (the
+# >=2x-on-AVX2 target of the kernel-matrix roadmap item).
+echo "[bench.sh] bench_aggregate_kernels (ISA sweep) ..." >&2
+"./$BUILD_DIR/bench_aggregate_kernels" --benchmark_filter='n1024|dim256' \
+  --benchmark_min_time=0.5 \
+  --benchmark_out=bench/out/aggregate_kernels.json \
+  --benchmark_out_format=json >/dev/null 2>&1
+kernel_speedups="{}"
+if command -v python3 >/dev/null 2>&1; then
+  kernel_speedups=$(python3 - <<'PY'
+import collections, json
+with open("bench/out/aggregate_kernels.json") as f:
+    doc = json.load(f)
+times = {}  # (kernel, case, isa) -> cpu_time
+for b in doc.get("benchmarks", []):
+    # BM_ScaleRow/avx2/n1024 or BM_GatherAxpy/avx2/deg32/dim256
+    kernel, isa, *case = b["name"].split("/")
+    times[(kernel[3:], "_".join(case), isa)] = b["cpu_time"]
+out = collections.defaultdict(dict)
+for (kernel, case, isa), t in sorted(times.items()):
+    ref = times.get((kernel, case, "scalar"))
+    if isa != "scalar" and ref:
+        out[isa][f"{kernel}_{case}"] = round(ref / t, 2)
+print(json.dumps(out))
+PY
+)
+fi
+append_entry "{\"bench\":\"bench_aggregate_kernels\",\"speedup_vs_scalar\":$kernel_speedups}"
 
 speedups=""
 base=${table7_wall[1]:-}

@@ -230,7 +230,13 @@ RoundSolution solve_round_bruteforce(const RoundProblem& problem,
 }
 
 std::vector<float> row_ranges_of(const Matrix& m) {
-  std::vector<float> ranges(m.rows(), 0.0f);
+  std::vector<float> ranges;
+  row_ranges_of_into(m, ranges);
+  return ranges;
+}
+
+void row_ranges_of_into(const Matrix& m, std::vector<float>& ranges) {
+  ranges.assign(m.rows(), 0.0f);
   for (std::size_t r = 0; r < m.rows(); ++r) {
     const auto row = m.row(r);
     if (row.empty()) continue;
@@ -241,7 +247,6 @@ std::vector<float> row_ranges_of(const Matrix& m) {
     }
     ranges[r] = hi - lo;
   }
-  return ranges;
 }
 
 std::vector<std::vector<std::vector<double>>> message_betas(

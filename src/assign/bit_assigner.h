@@ -94,6 +94,11 @@ std::vector<std::vector<std::vector<double>>> message_betas(
 /// Per-local-row (max − min) of a matrix (the traced numerical range).
 std::vector<float> row_ranges_of(const Matrix& m);
 
+/// In-place form of row_ranges_of: rewrites `out` reusing its capacity, so
+/// per-epoch range traces allocate nothing once the shapes have stabilized
+/// (the steady-state contract, docs/ARCHITECTURE.md).
+void row_ranges_of_into(const Matrix& m, std::vector<float>& out);
+
 /// Build an exchange plan for one layer/direction by solving every ring
 /// round's bi-objective problem.
 ExchangePlan assign_bit_widths(const DistGraph& dist,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "analysis/race_checker.h"
@@ -9,12 +11,13 @@
 #include "common/env.h"
 #include "core/timing.h"
 #include "gnn/loss.h"
+#include "memory/alloc_track.h"
 #include "pipeline/async_exchange.h"
 #include "pipeline/config.h"
 #include "pipeline/stage_graph.h"
 #include "pipeline/trace.h"
 #include "quant/message_codec.h"
-#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 
 namespace adaqp {
 
@@ -51,6 +54,21 @@ double allreduce_seconds(const ClusterSpec& cluster, std::size_t bytes) {
   }
   const double chunk = static_cast<double>(bytes) / n;
   return 2.0 * (n - 1) * (worst_theta * chunk + worst_gamma);
+}
+
+/// Scheduling flag for the persistent synchronous exchanges — the same
+/// policy the one-shot exchange_halo_forward/backward wrappers use: run the
+/// per-pair stages on the pool when it can actually help. Numerics are
+/// identical either way (the determinism contract).
+bool exchange_parallel_ok() {
+  return !ThreadPool::in_worker() && num_threads() > 1;
+}
+
+/// Copy `src` into `dst` reusing dst's capacity (Matrix copy-assignment
+/// would too, but this keeps the reshape explicit).
+void copy_matrix_into(const Matrix& src, Matrix& dst) {
+  dst.reshape_uninit(src.rows(), src.cols());
+  std::copy(src.data(), src.data() + src.size(), dst.data());
 }
 
 // ---- Race-checker annotations (ADAQP_RACECHECK) ---------------------------
@@ -158,6 +176,8 @@ DistTrainer::DistTrainer(const Dataset& dataset, const DistGraph& dist,
   if (opts_.method == Method::kPipeGCN) {
     pipegcn_fwd_inflight_.resize(num_layers_);
     pipegcn_bwd_inflight_.resize(num_layers_);
+    pipegcn_fwd_active_.assign(num_layers_, 0);
+    pipegcn_bwd_active_.assign(num_layers_, 0);
     pipegcn_bwd_scratch_.resize(num_layers_);
     pipegcn_joined_comm_.assign(num_layers_, 0.0);
     for (int l = 1; l < num_layers_; ++l) {
@@ -165,6 +185,20 @@ DistTrainer::DistTrainer(const Dataset& dataset, const DistGraph& dist,
       for (int d = 0; d < num_devices_; ++d)
         pipegcn_bwd_scratch_[l].emplace_back(dist_.devices[d].num_local(),
                                              dim);
+    }
+    // Build every deferred exchange now (graph + warmed staging, no RNG
+    // draws, nothing launched): the forward slots' first submit happens in
+    // epoch 1 — already steady state — and must not allocate.
+    for (int l = 0; l < num_layers_; ++l) {
+      pipegcn_fwd_inflight_[l] =
+          std::make_unique<pipeline::AsyncExchange>(dist_, cluster_);
+      pipegcn_fwd_inflight_[l]->prepare_forward(acts_[l], fwd_plans_[l]);
+      if (l > 0) {
+        pipegcn_bwd_inflight_[l] =
+            std::make_unique<pipeline::AsyncExchange>(dist_, cluster_);
+        pipegcn_bwd_inflight_[l]->prepare_backward(pipegcn_bwd_scratch_[l],
+                                                   bwd_plans_[l]);
+      }
     }
   }
   if (opts_.method == Method::kSancus) {
@@ -176,11 +210,102 @@ DistTrainer::DistTrainer(const Dataset& dataset, const DistGraph& dist,
     for (int l = 0; l < num_layers_; ++l)
       sancus_last_bcast_[l].resize(num_devices_);
   }
+
+  // ---- Memory subsystem: cache the stable param set and resolve every
+  // pool key the training loop will use on the main thread, pre-warming the
+  // capacities whose first natural use would otherwise fall in a
+  // steady-state epoch (docs/ARCHITECTURE.md, "Memory subsystem").
+  params_ = model_.params();
+  grad_bytes_ = model_.grad_bytes();
+
+  loss_sink_.resize(num_devices_);
+  loss_prob_.resize(num_devices_);
+  for (int d = 0; d < num_devices_; ++d) {
+    loss_sink_[d] = &ws_.matrix(memory::Scratch::kLossGradSink, 0, d);
+    loss_prob_[d] = &ws_.doubles(memory::Scratch::kLossProb, 0, d);
+  }
+
+  grad_flow_.resize(2);
+  for (auto& flow : grad_flow_) flow.resize(num_devices_);
+  bwd_sinks_.resize(num_layers_);
+  bwd_scratch_.resize(num_layers_);
+  for (int l = 0; l < num_layers_; ++l) {
+    bwd_sinks_[l].resize(num_devices_);
+    bwd_scratch_[l].resize(num_devices_);
+  }
+  sync_fwd_ex_.resize(num_layers_);
+  sync_bwd_ex_.resize(num_layers_);
+  if ((opts_.method == Method::kAdaQP ||
+       opts_.method == Method::kAdaQPUniform) &&
+      !async_pipeline_) {
+    // The phased (ADAQP_ASYNC=0) forward reuses the persistent sync
+    // exchanges with *quantized* plans from epoch 1 on: build + warm them
+    // now so the stochastic-rounding uniform staging — which the 32-bit
+    // warmup epoch never draws — is pre-reserved. (Vanilla and PipeGCN stay
+    // full-precision forever, so their lazily-built exchanges reach their
+    // final capacities during the warmup epoch naturally.)
+    for (int l = 0; l < num_layers_; ++l) {
+      sync_fwd_ex_[l] =
+          std::make_unique<pipeline::AsyncExchange>(dist_, cluster_);
+      sync_fwd_ex_[l]->prepare_forward(acts_[l], fwd_plans_[l]);
+    }
+  }
+  adaqp_fwd_graph_.resize(num_layers_);
+  adaqp_fwd_acct_.resize(num_layers_);
+  adaqp_bwd_graph_.resize(num_layers_);
+  adaqp_bwd_acct_.resize(num_layers_);
+  adaqp_marginal_sinks_.resize(num_layers_);
+  adaqp_central_sinks_.resize(num_layers_);
+  adaqp_bwd_scratch_.resize(num_layers_);
+  adaqp_bwd_bound_.assign(num_layers_, nullptr);
+  for (int l = 0; l < num_layers_; ++l) {
+    adaqp_marginal_sinks_[l].resize(num_devices_);
+    adaqp_central_sinks_[l].resize(num_devices_);
+    adaqp_bwd_scratch_[l].resize(num_devices_);
+  }
+
+  if (opts_.method == Method::kSancus) {
+    // SANCUS's broadcast-skipping path first touches its drift scratch in
+    // epoch 1 (there is no previous snapshot to diff against in epoch 0),
+    // so resolve and pre-size everything here instead.
+    sancus_snapshot_.resize(num_layers_);
+    sancus_diff_.resize(num_layers_);
+    sancus_bits_.resize(num_layers_);
+    sancus_pair_bytes_.assign(
+        num_devices_, std::vector<std::size_t>(num_devices_, 0));
+    sancus_tmp_ = &ws_.matrix(memory::Scratch::kGeneric, 0, 0);
+    sancus_seq_ = &ws_.u32s(memory::Scratch::kSancusSeq, 0, 0);
+    for (int l = 0; l < num_layers_; ++l) {
+      const std::size_t dim = model_.layer_in_dim(l);
+      sancus_snapshot_[l].resize(num_devices_);
+      sancus_diff_[l].resize(num_devices_);
+      sancus_bits_[l].resize(num_devices_);
+      for (int d = 0; d < num_devices_; ++d) {
+        const std::size_t boundary = dist_.devices[d].boundary_span().size();
+        Matrix& snap = ws_.matrix(memory::Scratch::kSancusSnapshot, l, d);
+        Matrix& diff = ws_.matrix(memory::Scratch::kSancusDiff, l, d);
+        snap.reshape_uninit(boundary, dim);
+        diff.reshape_uninit(boundary, dim);
+        sancus_snapshot_[l][d] = &snap;
+        sancus_diff_[l][d] = &diff;
+        sancus_bits_[l][d] = &ws_.ints(memory::Scratch::kSancusBits, l, d);
+      }
+    }
+  }
 }
 
-void DistTrainer::run_device_tasks(const std::function<void(int)>& fn) const {
-  parallel_for_each(static_cast<std::size_t>(num_devices_),
-                    [&fn](std::size_t d) { fn(static_cast<int>(d)); });
+pipeline::AsyncExchange& DistTrainer::sync_forward_exchange(int l) {
+  if (!sync_fwd_ex_[l])
+    sync_fwd_ex_[l] = std::make_unique<pipeline::AsyncExchange>(dist_,
+                                                                cluster_);
+  return *sync_fwd_ex_[l];
+}
+
+pipeline::AsyncExchange& DistTrainer::sync_backward_exchange(int l) {
+  if (!sync_bwd_ex_[l])
+    sync_bwd_ex_[l] = std::make_unique<pipeline::AsyncExchange>(dist_,
+                                                                cluster_);
+  return *sync_bwd_ex_[l];
 }
 
 double DistTrainer::compute_seconds(int layer, bool backward,
@@ -238,21 +363,25 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
   if (trace) {
     fwd_ranges_[l].resize(num_devices_);
     for (int d = 0; d < num_devices_; ++d)
-      fwd_ranges_[l][d] = row_ranges_of(acts_[l][d]);
+      row_ranges_of_into(acts_[l][d], fwd_ranges_[l][d]);
   }
 
   switch (opts_.method) {
     case Method::kVanilla: {
       // fwd_plans_[l] stays the uniform 32-bit plan for non-quantizing
-      // methods (refresh_plans only touches AdaQP variants).
-      const ExchangeStats stats = exchange_halo_forward(
-          dist_, acts_[l], fwd_plans_[l], cluster_, device_rngs_);
-      total_comm_bytes_ += stats.total_bytes();
-      if (l == 0) last_layer1_pair_bytes_ = stats.pair_bytes;
+      // methods (refresh_plans only touches AdaQP variants). The per-layer
+      // exchange object is persistent: its first submit builds the stage
+      // graph, every later one re-arms it in place.
+      pipeline::AsyncExchange& ex = sync_forward_exchange(l);
+      ex.submit_forward(acts_[l], fwd_plans_[l], device_rngs_,
+                        exchange_parallel_ok());
+      ex.wait_into(stats_scratch_);
+      total_comm_bytes_ += stats_scratch_.total_bytes();
+      if (l == 0) last_layer1_pair_bytes_ = stats_scratch_.pair_bytes;
       const double comp = max_compute_seconds(l, false, false);
-      bd.comm = stats.comm_seconds;
+      bd.comm = stats_scratch_.comm_seconds;
       bd.comp = comp;
-      bd.total = stats.comm_seconds + comp;
+      bd.total = stats_scratch_.comm_seconds + comp;
       return bd;
     }
     case Method::kAdaQP:
@@ -265,13 +394,15 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
       const double comp = max_compute_seconds(l, false, false);
       if (!pipegcn_warm_) {
         // Cold start: synchronous full-precision exchange before compute.
-        const ExchangeStats stats = exchange_halo_forward(
-            dist_, acts_[l], fwd_plans_[l], cluster_, device_rngs_);
-        total_comm_bytes_ += stats.total_bytes();
-        if (l == 0) last_layer1_pair_bytes_ = stats.pair_bytes;
-        bd.comm = stats.comm_seconds;
+        pipeline::AsyncExchange& ex = sync_forward_exchange(l);
+        ex.submit_forward(acts_[l], fwd_plans_[l], device_rngs_,
+                          exchange_parallel_ok());
+        ex.wait_into(stats_scratch_);
+        total_comm_bytes_ += stats_scratch_.total_bytes();
+        if (l == 0) last_layer1_pair_bytes_ = stats_scratch_.pair_bytes;
+        bd.comm = stats_scratch_.comm_seconds;
         bd.comp = comp;
-        bd.total = stats.comm_seconds + comp;
+        bd.total = stats_scratch_.comm_seconds + comp;
         return bd;
       }
       // Warm pipeline: compute with the halo rows delivered by the deferred
@@ -288,15 +419,16 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
       // when they drifted enough or staleness hit the cap. Deliberately
       // serial — sequential broadcasts are the inefficiency being modeled,
       // and later senders read rows earlier broadcasts may have refreshed.
-      std::vector<std::vector<std::size_t>> pair_bytes(
-          num_devices_, std::vector<std::size_t>(num_devices_, 0));
+      std::vector<std::vector<std::size_t>>& pair_bytes = sancus_pair_bytes_;
+      for (auto& row : pair_bytes) std::fill(row.begin(), row.end(), 0);
       double comm = 0.0;
       for (int d = 0; d < num_devices_; ++d) {
         const DeviceGraph& dev = dist_.devices[d];
         // This device's outgoing boundary rows (precomputed union view).
         const std::span<const NodeId> boundary = dev.boundary_span();
         bool bcast = true;
-        Matrix snapshot(boundary.size(), acts_[l][d].cols());
+        Matrix& snapshot = *sancus_snapshot_[l][d];
+        snapshot.reshape_uninit(boundary.size(), acts_[l][d].cols());
         for (std::size_t i = 0; i < boundary.size(); ++i) {
           const auto src = acts_[l][d].row(boundary[i]);
           std::copy(src.begin(), src.end(), snapshot.row(i).begin());
@@ -304,7 +436,8 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
         if (sancus_staleness_[l][d] < opts_.sancus_max_staleness &&
             sancus_last_bcast_[l][d].same_shape(snapshot)) {
           const double base = sancus_last_bcast_[l][d].frobenius_norm();
-          Matrix diff = snapshot;
+          Matrix& diff = *sancus_diff_[l][d];
+          copy_matrix_into(snapshot, diff);
           diff.axpy_inplace(-1.0f, sancus_last_bcast_[l][d]);
           const double drift = diff.frobenius_norm() / (base + 1e-12);
           bcast = drift > opts_.sancus_drift_threshold;
@@ -315,18 +448,21 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
           continue;
         }
         sancus_staleness_[l][d] = 0;
-        sancus_last_bcast_[l][d] = std::move(snapshot);
+        // Copy, not move: the snapshot is pooled scratch and must keep its
+        // buffer for the next epoch.
+        copy_matrix_into(snapshot, sancus_last_bcast_[l][d]);
         // Deliver full-precision rows to each peer; sequential broadcast
         // cost (the inefficiency the paper calls out in §5.1).
         for (int p = 0; p < num_devices_; ++p) {
           if (p == d || dev.send_local[p].empty()) continue;
-          std::vector<int> bits(dev.send_local[p].size(), 32);
-          const EncodedBlock block =
-              encode_rows(acts_[l][d], dev.send_local[p], bits,
-                          device_rngs_[d]);
-          pair_bytes[d][p] = block.wire_bytes();
-          comm += cluster_.transfer_seconds(d, p, block.wire_bytes());
-          decode_rows(block, acts_[l][p], dist_.devices[p].recv_local[d]);
+          std::vector<int>& bits = *sancus_bits_[l][d];
+          bits.assign(dev.send_local[p].size(), 32);
+          encode_rows_into(acts_[l][d], dev.send_local[p], bits,
+                           device_rngs_[d], wire_uniforms_, wire_block_);
+          pair_bytes[d][p] = wire_block_.wire_bytes();
+          comm += cluster_.transfer_seconds(d, p, wire_block_.wire_bytes());
+          decode_rows(wire_block_, acts_[l][p],
+                      dist_.devices[p].recv_local[d]);
         }
       }
       for (const auto& row : pair_bytes)
@@ -344,35 +480,44 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
 
 EpochBreakdown DistTrainer::adaqp_forward_layer(int l, bool training) {
   EpochBreakdown bd;
+  // The persistent fused graphs capture training=true at build time;
+  // evaluation never routes through here (it has a private inference path).
+  ADAQP_CHECK(training);
   // Trace input ranges for the assigner (same point as the phased path:
   // before any halo row of this layer's input is rewritten).
   fwd_ranges_[l].resize(num_devices_);
   for (int d = 0; d < num_devices_; ++d)
-    fwd_ranges_[l][d] = row_ranges_of(acts_[l][d]);
+    row_ranges_of_into(acts_[l][d], fwd_ranges_[l][d]);
 
-  const GnnLayer& layer = model_.layer(l);
-  ExchangeStats stats;
   if (!async_pipeline_) {
     // Phased reference schedule: exchange every halo row, then the full
-    // per-device forward — the PR-2 execution shape.
-    stats = exchange_halo_forward(dist_, acts_[l], fwd_plans_[l], cluster_,
-                                  device_rngs_);
+    // per-device forward — the PR-2 execution shape, on the persistent
+    // per-layer exchange.
+    pipeline::AsyncExchange& ex = sync_forward_exchange(l);
+    ex.submit_forward(acts_[l], fwd_plans_[l], device_rngs_,
+                      exchange_parallel_ok());
+    ex.wait_into(stats_scratch_);
     run_device_tasks([&](int d) {
-      layer.forward(dist_.devices[d], acts_[l][d], acts_[l + 1][d],
-                    caches_[l][d], device_rngs_[d], training);
+      model_.layer(l).forward(dist_.devices[d], acts_[l][d], acts_[l + 1][d],
+                              caches_[l][d], device_rngs_[d],
+                              /*training=*/true);
     });
-  } else {
+  } else if (!adaqp_fwd_graph_[l]) {
     // Fused stage graph: per-pair encode/wire/decode stages run concurrently
     // with per-device central-row compute; each device's marginal rows wait
     // on its inbound messages (and on its own prepare/central stage, which
     // sizes the shared layer cache). Stage bodies write disjoint rows and
     // use private RNG streams, so this schedule is bit-identical to the
-    // phased one at any thread count.
+    // phased one at any thread count. Built once here (warmup epoch 0,
+    // uniform 32-bit plan = maximal payloads), re-armed in place forever
+    // after: the stage lambdas read fwd_plans_[l] (stable address) at run
+    // time, so plan refreshes need no rebuild.
+    adaqp_fwd_graph_[l] = std::make_unique<pipeline::StageGraph>();
+    pipeline::StageGraph& graph = *adaqp_fwd_graph_[l];
     std::string prefix = "L";
     prefix += std::to_string(l);
-    pipeline::StageGraph graph;
     graph.set_label(prefix + "/forward");
-    pipeline::ExchangeAccounting acct;
+    pipeline::ExchangeAccounting& acct = adaqp_fwd_acct_[l];
     acct.init(num_devices_, device_rngs_);
     const pipeline::PairStages pair = pipeline::add_forward_exchange_stages(
         graph, dist_, acts_[l], fwd_plans_[l], acct);
@@ -396,10 +541,11 @@ EpochBreakdown DistTrainer::adaqp_forward_layer(int l, bool training) {
       }
       central[d] = graph.add(
           prefix + "/central/" + dn,
-          [this, &layer, l, d, training] {
+          [this, l, d] {
             const DeviceGraph& device = dist_.devices[d];
+            const GnnLayer& layer = model_.layer(l);
             layer.forward_prepare(device, caches_[l][d], device_rngs_[d],
-                                  training);
+                                  /*training=*/true);
             layer.forward_rows(device, acts_[l][d], acts_[l + 1][d],
                                caches_[l][d], device.central_span());
           },
@@ -425,29 +571,44 @@ EpochBreakdown DistTrainer::adaqp_forward_layer(int l, bool training) {
       }
       graph.add(
           prefix + "/marginal/" + dn,
-          [this, &layer, l, d] {
+          [this, l, d] {
             const DeviceGraph& device = dist_.devices[d];
-            layer.forward_rows(device, acts_[l][d], acts_[l + 1][d],
-                               caches_[l][d], device.marginal_span());
+            model_.layer(l).forward_rows(device, acts_[l][d], acts_[l + 1][d],
+                                         caches_[l][d],
+                                         device.marginal_span());
           },
           deps, std::move(acc));
     }
+    // Warm the staging the 32-bit warmup rounds never touch: quantized
+    // rounds draw per-column stochastic-rounding uniforms.
+    acct.warm(dist_, fwd_plans_[l], /*forward=*/true, model_.layer_in_dim(l));
     graph.run(/*async=*/true);
-    stats = pipeline::finalize_exchange_stats(acct, dist_, cluster_);
+    pipeline::finalize_exchange_stats_into(acct, dist_, cluster_,
+                                           stats_scratch_);
+  } else {
+    // Steady state: re-derive the per-pair RNG streams (same draws as a
+    // fresh build), re-arm the graph, run. No allocation on any path.
+    pipeline::ExchangeAccounting& acct = adaqp_fwd_acct_[l];
+    acct.init(num_devices_, device_rngs_);
+    adaqp_fwd_graph_[l]->reset();
+    adaqp_fwd_graph_[l]->run(/*async=*/true);
+    pipeline::finalize_exchange_stats_into(acct, dist_, cluster_,
+                                           stats_scratch_);
   }
 
-  total_comm_bytes_ += stats.total_bytes();
-  if (l == 0) last_layer1_pair_bytes_ = stats.pair_bytes;
+  total_comm_bytes_ += stats_scratch_.total_bytes();
+  if (l == 0) last_layer1_pair_bytes_ = stats_scratch_.pair_bytes;
   // Modeled epoch time: central compute hides inside communication, the
   // quantize / de-quantize kernels and marginal compute do not (Fig. 10a).
   const double central_s = max_compute_seconds(l, false, true);
   const double marginal_s = marginal_compute_seconds_max(l, false);
-  const double tq = stats.max_quant_seconds();
-  const double tdq = stats.max_dequant_seconds();
-  bd.comm = stats.comm_seconds;
+  const double tq = stats_scratch_.max_quant_seconds();
+  const double tdq = stats_scratch_.max_dequant_seconds();
+  bd.comm = stats_scratch_.comm_seconds;
   bd.comp = marginal_s;
   bd.quant = tq + tdq;
-  bd.total = tq + std::max(stats.comm_seconds, central_s) + tdq + marginal_s;
+  bd.total =
+      tq + std::max(stats_scratch_.comm_seconds, central_s) + tdq + marginal_s;
   return bd;
 }
 
@@ -457,15 +618,17 @@ EpochBreakdown DistTrainer::backward_exchange(int l,
   // Trace gradient ranges for the assigner before any mutation.
   bwd_ranges_[l].resize(num_devices_);
   for (int d = 0; d < num_devices_; ++d)
-    bwd_ranges_[l][d] = row_ranges_of(grads[d]);
+    row_ranges_of_into(grads[d], bwd_ranges_[l][d]);
 
   switch (opts_.method) {
     case Method::kVanilla: {
-      const ExchangeStats stats = exchange_halo_backward(
-          dist_, grads, bwd_plans_[l], cluster_, device_rngs_);
-      total_comm_bytes_ += stats.total_bytes();
-      bd.comm = stats.comm_seconds;
-      bd.total = stats.comm_seconds;
+      pipeline::AsyncExchange& ex = sync_backward_exchange(l);
+      ex.submit_backward(grads, bwd_plans_[l], device_rngs_,
+                         exchange_parallel_ok());
+      ex.wait_into(stats_scratch_);
+      total_comm_bytes_ += stats_scratch_.total_bytes();
+      bd.comm = stats_scratch_.comm_seconds;
+      bd.total = stats_scratch_.comm_seconds;
       return bd;
     }
     case Method::kAdaQP:
@@ -483,7 +646,7 @@ EpochBreakdown DistTrainer::backward_exchange(int l,
       // here — its arrivals (accumulated into the scratch owned rows by the
       // bwd-acc stages) are exactly the remote contributions the phased
       // implementation banked in pending_grads.
-      const bool had_pending = pipegcn_bwd_inflight_[l] != nullptr;
+      const bool had_pending = pipegcn_bwd_active_[l] != 0;
       bd.comm = join_pipegcn_backward(l);
       std::vector<Matrix>& scratch = pipegcn_bwd_scratch_[l];
       for (int d = 0; d < num_devices_; ++d) {
@@ -509,11 +672,10 @@ EpochBreakdown DistTrainer::backward_exchange(int l,
           std::fill(row.begin(), row.end(), 0.0f);
         }
       }
-      pipegcn_bwd_inflight_[l] =
-          std::make_unique<pipeline::AsyncExchange>(dist_, cluster_);
       pipegcn_bwd_inflight_[l]->submit_backward(scratch, bwd_plans_[l],
                                                 device_rngs_,
                                                 async_pipeline_);
+      pipegcn_bwd_active_[l] = 1;
       bd.total = 0.0;  // hidden inside compute; composed in backward_pass
       return bd;
     }
@@ -521,24 +683,27 @@ EpochBreakdown DistTrainer::backward_exchange(int l,
       // Remote gradients only flow toward owners that broadcast fresh
       // embeddings this epoch; contributions to stale owners are dropped
       // (the gradient bias that slows SANCUS's convergence).
-      std::vector<std::vector<std::size_t>> pair_bytes(
-          num_devices_, std::vector<std::size_t>(num_devices_, 0));
+      std::vector<std::vector<std::size_t>>& pair_bytes = sancus_pair_bytes_;
+      for (auto& row : pair_bytes) std::fill(row.begin(), row.end(), 0);
       for (int d = 0; d < num_devices_; ++d) {
         const DeviceGraph& dev = dist_.devices[d];
         for (int p = 0; p < num_devices_; ++p) {
           if (p == d || dev.recv_local[p].empty()) continue;
           if (!sancus_bcast_now_[l][p]) continue;
-          std::vector<int> bits(dev.recv_local[p].size(), 32);
-          const EncodedBlock block = encode_rows(
-              grads[d], dev.recv_local[p], bits, device_rngs_[d]);
-          pair_bytes[d][p] = block.wire_bytes();
+          std::vector<int>& bits = *sancus_bits_[l][d];
+          bits.assign(dev.recv_local[p].size(), 32);
+          encode_rows_into(grads[d], dev.recv_local[p], bits,
+                           device_rngs_[d], wire_uniforms_, wire_block_);
+          pair_bytes[d][p] = wire_block_.wire_bytes();
           // Accumulate into the owner's owned rows.
           const auto& rows = dist_.devices[p].send_local[d];
-          Matrix tmp(rows.size(), grads[p].cols());
-          std::vector<NodeId> seq(rows.size());
-          for (std::size_t i = 0; i < seq.size(); ++i)
-            seq[i] = static_cast<NodeId>(i);
-          decode_rows(block, tmp, seq);
+          Matrix& tmp = *sancus_tmp_;
+          tmp.reshape_uninit(rows.size(), grads[p].cols());
+          std::vector<NodeId>& seq = *sancus_seq_;
+          while (seq.size() < rows.size())
+            seq.push_back(static_cast<NodeId>(seq.size()));
+          decode_rows(wire_block_, tmp,
+                      std::span<const NodeId>(seq.data(), rows.size()));
           for (std::size_t i = 0; i < rows.size(); ++i) {
             auto dst = grads[p].row(rows[i]);
             const auto src = tmp.row(i);
@@ -598,18 +763,23 @@ EpochBreakdown DistTrainer::forward_pass(bool training, double* loss_out) {
 
   if (loss_out) {
     // Loss values only (gradients handled in backward_pass); per-device
-    // terms computed concurrently, reduced in ascending device order.
-    std::vector<double> device_loss(num_devices_, 0.0);
+    // terms computed concurrently into epoch-arena scratch, reduced in
+    // ascending device order. The gradient sink is pooled per device and
+    // re-zeroed because the losses accumulate into it.
+    double* device_loss = ws_.arena().span<double>(
+        static_cast<std::size_t>(num_devices_));
     run_device_tasks([&](int d) {
-      Matrix dummy(acts_[num_layers_][d].rows(), acts_[num_layers_][d].cols());
+      Matrix& sink = *loss_sink_[d];
+      sink.reshape_zero(acts_[num_layers_][d].rows(),
+                        acts_[num_layers_][d].cols());
       if (!dataset_.spec.multi_label) {
         device_loss[d] = softmax_cross_entropy(
             acts_[num_layers_][d], train_rows_[d], train_labels_[d],
-            global_train_count_, dummy);
+            global_train_count_, sink, *loss_prob_[d]);
       } else {
         device_loss[d] =
             bce_with_logits(acts_[num_layers_][d], train_rows_[d],
-                            train_targets_[d], global_train_count_, dummy);
+                            train_targets_[d], global_train_count_, sink);
       }
     });
     double loss = 0.0;
@@ -623,21 +793,28 @@ EpochBreakdown DistTrainer::backward_pass() {
   EpochBreakdown total;
 
   // Loss gradients wrt logits — one device task each (disjoint outputs).
-  std::vector<Matrix> grads(num_devices_);
+  // Gradients flow through the two persistent ping-pong buffer sets: at
+  // layer l, the incoming grad lives in grad_flow_[(num_layers_-1-l) % 2]
+  // and the input grad in the other — fixed per layer across epochs, which
+  // is what lets the persistent exchanges and stage graphs bind them once.
+  std::vector<Matrix>* grads = &grad_flow_[0];
+  std::vector<Matrix>* grad_x = &grad_flow_[1];
   run_device_tasks([&](int d) {
-    Matrix g(acts_[num_layers_][d].rows(), acts_[num_layers_][d].cols());
+    Matrix& g = (*grads)[d];
+    // reshape_zero, not uninit: the losses accumulate into their sink.
+    g.reshape_zero(acts_[num_layers_][d].rows(),
+                   acts_[num_layers_][d].cols());
     if (!dataset_.spec.multi_label) {
       softmax_cross_entropy(acts_[num_layers_][d], train_rows_[d],
-                            train_labels_[d], global_train_count_, g);
+                            train_labels_[d], global_train_count_, g,
+                            *loss_prob_[d]);
     } else {
       bce_with_logits(acts_[num_layers_][d], train_rows_[d], train_targets_[d],
                       global_train_count_, g);
     }
-    grads[d] = std::move(g);
   });
 
   for (int l = num_layers_ - 1; l >= 0; --l) {
-    std::vector<Matrix> grad_x(num_devices_);
     EpochBreakdown stage;
     const bool quantizing = opts_.method == Method::kAdaQP ||
                             opts_.method == Method::kAdaQPUniform;
@@ -645,22 +822,22 @@ EpochBreakdown DistTrainer::backward_pass() {
       // Full-duplex backward: row-subset adjoints + halo-gradient exchange
       // as one stage graph (central-row backward runs while the exchange is
       // on the wire).
-      stage = adaqp_backward_layer(l, grads, grad_x);
+      stage = adaqp_backward_layer(l, *grads, *grad_x);
     } else {
       // Per-device backward runs concurrently into per-device gradient
       // sinks; the shared parameter gradients are then reduced in ascending
       // device order so the epoch is deterministic at any thread count.
-      std::vector<LayerGrads> sinks(num_devices_);
+      std::vector<LayerGrads>& sinks = bwd_sinks_[l];
       const GnnLayer& layer = model_.layer(l);
       run_device_tasks([&](int d) {
-        layer.backward(dist_.devices[d], grads[d], caches_[l][d], grad_x[d],
-                       sinks[d]);
+        layer.backward(dist_.devices[d], (*grads)[d], caches_[l][d],
+                       (*grad_x)[d], sinks[d], bwd_scratch_[l][d]);
       });
       const double comp_all = max_compute_seconds(l, true, false);
       for (int d = 0; d < num_devices_; ++d)
         model_.layer(l).apply_grads(sinks[d]);
       if (l > 0) {
-        stage = backward_exchange(l, grad_x);
+        stage = backward_exchange(l, *grad_x);
         switch (opts_.method) {
           case Method::kVanilla:
           case Method::kSancus:
@@ -681,7 +858,7 @@ EpochBreakdown DistTrainer::backward_pass() {
       }
     }
     total.accumulate(stage);
-    grads = std::move(grad_x);
+    std::swap(grads, grad_x);
   }
   return total;
 }
@@ -690,185 +867,211 @@ EpochBreakdown DistTrainer::adaqp_backward_layer(int l,
                                                  std::vector<Matrix>& grads,
                                                  std::vector<Matrix>& grad_x) {
   EpochBreakdown bd;
-  const GnnLayer& layer = model_.layer(l);
   const std::size_t in_dim = model_.layer_in_dim(l);
-  std::vector<LayerGrads> marginal_sinks(num_devices_);
-  std::vector<LayerGrads> central_sinks(num_devices_);
   bwd_ranges_[l].resize(num_devices_);
+  pipeline::ExchangeAccounting& acct = adaqp_bwd_acct_[l];
 
-  // Stage graph of one layer's backward. Determinism at any schedule comes
-  // from the same rules as the forward split: disjoint writes per stage
-  // (marginal adjoints are the sole writers of halo gradient rows; central
-  // adjoints write owned rows after them), per-pair RNG streams derived
-  // serially at build time, owner accumulation folding senders ascending,
-  // and one serial fold stage applying per-(device, subset) partials in
-  // ascending device order, marginal before central.
-  std::string prefix = "L";
-  prefix += std::to_string(l);
-  prefix += "b";
-  pipeline::StageGraph graph;
-  graph.set_label(prefix + "/backward");
-  pipeline::ExchangeAccounting acct;
-  acct.init(num_devices_, device_rngs_);
-
-  // Pre-size the gradient buffers (zero-initialized): the exchange stage
-  // builder validates shapes at graph-build time.
+  // Pre-size the gradient buffers every epoch (zero-initialized: the
+  // row-subset adjoints accumulate, and the exchange stage builder
+  // validates shapes at graph-build time).
   for (int d = 0; d < num_devices_; ++d)
-    grad_x[d] = Matrix(dist_.devices[d].num_local(), in_dim);
+    grad_x[d].reshape_zero(dist_.devices[d].num_local(), in_dim);
 
-  std::vector<int> marginal(num_devices_, -1);
-  std::vector<int> central(num_devices_, -1);
-  std::vector<int> trace(num_devices_, -1);
-  for (int d = 0; d < num_devices_; ++d) {
-    const DeviceGraph& dev = dist_.devices[d];
-    const std::string dn = "d" + std::to_string(d);
-    // Marginal-row adjoint: produces every halo gradient row this device
-    // will ship, unblocking its encode stages.
-    AccessList acc;
-    if (analysis::racecheck_enabled()) {
-      // The marginal adjoint scatters into neighbors of marginal rows —
-      // owned and halo rows alike — so its write claims the whole local
-      // gradient matrix; everything downstream is ordered behind it.
-      acc.push_back(rc_row_range(grads[d], 0, dev.num_local(), kRcRead,
-                                 "grad_out[" + dn + "]"));
-      acc.push_back(rc_row_range(grad_x[d], 0, dev.num_local(), kRcWrite,
-                                 "grad[" + dn + "].local_rows"));
-      acc.push_back(analysis::read_of(&caches_[l][d], sizeof(caches_[l][d]),
-                                      "cache[" + dn + "]"));
-      acc.push_back(analysis::read_of(&layer, sizeof(layer), "layer"));
-      acc.push_back(analysis::write_of(&marginal_sinks[d],
-                                       sizeof(marginal_sinks[d]),
-                                       "marginal_sinks[" + dn + "]"));
-    }
-    marginal[d] = graph.add(
-        prefix + "/marginal/" + dn,
-        [this, &layer, &grads, &grad_x, &marginal_sinks, l, d] {
-          const DeviceGraph& device = dist_.devices[d];
-          layer.backward_rows(device, grads[d], caches_[l][d], grad_x[d],
-                              marginal_sinks[d], device.marginal_span());
-        },
-        {}, std::move(acc));
-  }
-  for (int d = 0; d < num_devices_; ++d) {
-    const DeviceGraph& dev = dist_.devices[d];
-    const std::string dn = "d" + std::to_string(d);
-    // Central-row adjoint: owned-row writes only — this is the compute that
-    // runs while the halo-gradient exchange is on the wire.
-    AccessList acc;
-    if (analysis::racecheck_enabled()) {
-      acc.push_back(rc_row_range(grads[d], 0, dev.num_local(), kRcRead,
-                                 "grad_out[" + dn + "]"));
-      acc.push_back(rc_row_range(grad_x[d], 0, dev.num_owned, kRcWrite,
-                                 "grad[" + dn + "].owned_rows"));
-      acc.push_back(analysis::read_of(&caches_[l][d], sizeof(caches_[l][d]),
-                                      "cache[" + dn + "]"));
-      acc.push_back(analysis::read_of(&layer, sizeof(layer), "layer"));
-      acc.push_back(analysis::write_of(&central_sinks[d],
-                                       sizeof(central_sinks[d]),
-                                       "central_sinks[" + dn + "]"));
-    }
-    central[d] = graph.add(
-        prefix + "/central/" + dn,
-        [this, &layer, &grads, &grad_x, &central_sinks, l, d] {
-          const DeviceGraph& device = dist_.devices[d];
-          layer.backward_rows(device, grads[d], caches_[l][d], grad_x[d],
-                              central_sinks[d], device.central_span());
-        },
-        {marginal[d]}, std::move(acc));
-  }
-  for (int d = 0; d < num_devices_; ++d) {
-    const DeviceGraph& dev = dist_.devices[d];
-    const std::string dn = "d" + std::to_string(d);
-    // Assigner range trace: needs the complete local adjoint but must
-    // precede the exchange's mutations (owner accumulate, halo zero).
-    AccessList acc;
-    if (analysis::racecheck_enabled()) {
-      acc.push_back(rc_row_range(grad_x[d], 0, dev.num_local(), kRcRead,
-                                 "grad[" + dn + "].local_rows"));
-      acc.push_back(analysis::write_of(&bwd_ranges_[l][d],
-                                       sizeof(bwd_ranges_[l][d]),
-                                       "bwd_ranges[" + dn + "]"));
-    }
-    trace[d] = graph.add(
-        prefix + "/trace/" + dn,
-        [this, &grad_x, l, d] {
-          bwd_ranges_[l][d] = row_ranges_of(grad_x[d]);
-        },
-        {central[d]}, std::move(acc));
-  }
-  pipeline::BackwardStageDeps deps;
-  deps.encode = marginal;     // halo rows are complete
-  deps.accumulate = trace;    // owner's own owned-row writes are complete
-  deps.zero = trace;          // last halo-row reader is done
-  pipeline::add_backward_exchange_stages(graph, dist_, grad_x, bwd_plans_[l],
-                                         acct, deps);
-  // Shared parameter-gradient fold: one serial stage, concurrent with the
-  // wire stages, in fixed device-then-subset order.
-  std::vector<int> fold_deps(central.begin(), central.end());
-  AccessList fold_acc;
-  if (analysis::racecheck_enabled()) {
-    fold_acc.push_back(analysis::write_of(&layer, sizeof(layer), "layer"));
+  if (!adaqp_bwd_graph_[l]) {
+    // Stage graph of one layer's backward, built once (warmup) and re-armed
+    // in place every later epoch. Determinism at any schedule comes from
+    // the same rules as the forward split: disjoint writes per stage
+    // (marginal adjoints are the sole writers of halo gradient rows;
+    // central adjoints write owned rows after them), per-pair RNG streams
+    // derived serially per epoch, owner accumulation folding senders
+    // ascending, and one serial fold stage applying per-(device, subset)
+    // partials in ascending device order, marginal before central.
+    //
+    // The stage lambdas capture grads / grad_x by reference: these are the
+    // grad_flow_ ping-pong vectors, whose parity is fixed per layer, so the
+    // very same objects arrive every epoch (checked below).
+    adaqp_bwd_bound_[l] = &grads;
+    adaqp_bwd_graph_[l] = std::make_unique<pipeline::StageGraph>();
+    pipeline::StageGraph& graph = *adaqp_bwd_graph_[l];
+    const GnnLayer& layer = model_.layer(l);
+    std::vector<LayerGrads>& marginal_sinks = adaqp_marginal_sinks_[l];
+    std::vector<LayerGrads>& central_sinks = adaqp_central_sinks_[l];
+    std::string prefix = "L";
+    prefix += std::to_string(l);
+    prefix += "b";
+    graph.set_label(prefix + "/backward");
+    acct.init(num_devices_, device_rngs_);
+
+    std::vector<int> marginal(num_devices_, -1);
+    std::vector<int> central(num_devices_, -1);
+    std::vector<int> trace(num_devices_, -1);
     for (int d = 0; d < num_devices_; ++d) {
+      const DeviceGraph& dev = dist_.devices[d];
       const std::string dn = "d" + std::to_string(d);
-      fold_acc.push_back(analysis::read_of(&marginal_sinks[d],
-                                           sizeof(marginal_sinks[d]),
-                                           "marginal_sinks[" + dn + "]"));
-      fold_acc.push_back(analysis::read_of(&central_sinks[d],
-                                           sizeof(central_sinks[d]),
-                                           "central_sinks[" + dn + "]"));
+      // Marginal-row adjoint: produces every halo gradient row this device
+      // will ship, unblocking its encode stages. Marginal and central share
+      // the per-(layer, device) scratch — they are serialized per device.
+      AccessList acc;
+      if (analysis::racecheck_enabled()) {
+        // The marginal adjoint scatters into neighbors of marginal rows —
+        // owned and halo rows alike — so its write claims the whole local
+        // gradient matrix; everything downstream is ordered behind it.
+        acc.push_back(rc_row_range(grads[d], 0, dev.num_local(), kRcRead,
+                                   "grad_out[" + dn + "]"));
+        acc.push_back(rc_row_range(grad_x[d], 0, dev.num_local(), kRcWrite,
+                                   "grad[" + dn + "].local_rows"));
+        acc.push_back(analysis::read_of(&caches_[l][d], sizeof(caches_[l][d]),
+                                        "cache[" + dn + "]"));
+        acc.push_back(analysis::read_of(&layer, sizeof(layer), "layer"));
+        acc.push_back(analysis::write_of(&marginal_sinks[d],
+                                         sizeof(marginal_sinks[d]),
+                                         "marginal_sinks[" + dn + "]"));
+      }
+      marginal[d] = graph.add(
+          prefix + "/marginal/" + dn,
+          [this, &grads, &grad_x, &marginal_sinks, l, d] {
+            const DeviceGraph& device = dist_.devices[d];
+            model_.layer(l).backward_rows(device, grads[d], caches_[l][d],
+                                          grad_x[d], marginal_sinks[d],
+                                          device.marginal_span(),
+                                          adaqp_bwd_scratch_[l][d]);
+          },
+          {}, std::move(acc));
     }
+    for (int d = 0; d < num_devices_; ++d) {
+      const DeviceGraph& dev = dist_.devices[d];
+      const std::string dn = "d" + std::to_string(d);
+      // Central-row adjoint: owned-row writes only — this is the compute
+      // that runs while the halo-gradient exchange is on the wire.
+      AccessList acc;
+      if (analysis::racecheck_enabled()) {
+        acc.push_back(rc_row_range(grads[d], 0, dev.num_local(), kRcRead,
+                                   "grad_out[" + dn + "]"));
+        acc.push_back(rc_row_range(grad_x[d], 0, dev.num_owned, kRcWrite,
+                                   "grad[" + dn + "].owned_rows"));
+        acc.push_back(analysis::read_of(&caches_[l][d], sizeof(caches_[l][d]),
+                                        "cache[" + dn + "]"));
+        acc.push_back(analysis::read_of(&layer, sizeof(layer), "layer"));
+        acc.push_back(analysis::write_of(&central_sinks[d],
+                                         sizeof(central_sinks[d]),
+                                         "central_sinks[" + dn + "]"));
+      }
+      central[d] = graph.add(
+          prefix + "/central/" + dn,
+          [this, &grads, &grad_x, &central_sinks, l, d] {
+            const DeviceGraph& device = dist_.devices[d];
+            model_.layer(l).backward_rows(device, grads[d], caches_[l][d],
+                                          grad_x[d], central_sinks[d],
+                                          device.central_span(),
+                                          adaqp_bwd_scratch_[l][d]);
+          },
+          {marginal[d]}, std::move(acc));
+    }
+    for (int d = 0; d < num_devices_; ++d) {
+      const DeviceGraph& dev = dist_.devices[d];
+      const std::string dn = "d" + std::to_string(d);
+      // Assigner range trace: needs the complete local adjoint but must
+      // precede the exchange's mutations (owner accumulate, halo zero).
+      AccessList acc;
+      if (analysis::racecheck_enabled()) {
+        acc.push_back(rc_row_range(grad_x[d], 0, dev.num_local(), kRcRead,
+                                   "grad[" + dn + "].local_rows"));
+        acc.push_back(analysis::write_of(&bwd_ranges_[l][d],
+                                         sizeof(bwd_ranges_[l][d]),
+                                         "bwd_ranges[" + dn + "]"));
+      }
+      trace[d] = graph.add(
+          prefix + "/trace/" + dn,
+          [this, &grad_x, l, d] {
+            row_ranges_of_into(grad_x[d], bwd_ranges_[l][d]);
+          },
+          {central[d]}, std::move(acc));
+    }
+    pipeline::BackwardStageDeps deps;
+    deps.encode = marginal;     // halo rows are complete
+    deps.accumulate = trace;    // owner's own owned-row writes are complete
+    deps.zero = trace;          // last halo-row reader is done
+    pipeline::add_backward_exchange_stages(graph, dist_, grad_x, bwd_plans_[l],
+                                           acct, deps);
+    // Shared parameter-gradient fold: one serial stage, concurrent with the
+    // wire stages, in fixed device-then-subset order.
+    std::vector<int> fold_deps(central.begin(), central.end());
+    AccessList fold_acc;
+    if (analysis::racecheck_enabled()) {
+      fold_acc.push_back(analysis::write_of(&layer, sizeof(layer), "layer"));
+      for (int d = 0; d < num_devices_; ++d) {
+        const std::string dn = "d" + std::to_string(d);
+        fold_acc.push_back(analysis::read_of(&marginal_sinks[d],
+                                             sizeof(marginal_sinks[d]),
+                                             "marginal_sinks[" + dn + "]"));
+        fold_acc.push_back(analysis::read_of(&central_sinks[d],
+                                             sizeof(central_sinks[d]),
+                                             "central_sinks[" + dn + "]"));
+      }
+    }
+    graph.add(
+        prefix + "/fold",
+        [this, &marginal_sinks, &central_sinks, l] {
+          for (int d = 0; d < num_devices_; ++d) {
+            model_.layer(l).apply_grads(marginal_sinks[d]);
+            model_.layer(l).apply_grads(central_sinks[d]);
+          }
+        },
+        fold_deps, std::move(fold_acc));
+    // Warm the quantized rounds' uniform staging (the 32-bit build-epoch
+    // rounds never draw any) and the owner-side decode accumulators.
+    acct.warm(dist_, bwd_plans_[l], /*forward=*/false, in_dim);
+    graph.run(async_pipeline_);
+  } else {
+    // Steady state: same objects, re-derived RNG streams, re-armed graph.
+    ADAQP_CHECK_MSG(adaqp_bwd_bound_[l] == &grads,
+                    "adaqp backward graph rebound to a different grad buffer");
+    acct.init(num_devices_, device_rngs_);
+    adaqp_bwd_graph_[l]->reset();
+    adaqp_bwd_graph_[l]->run(async_pipeline_);
   }
-  graph.add(
-      prefix + "/fold",
-      [this, &marginal_sinks, &central_sinks, l] {
-        for (int d = 0; d < num_devices_; ++d) {
-          model_.layer(l).apply_grads(marginal_sinks[d]);
-          model_.layer(l).apply_grads(central_sinks[d]);
-        }
-      },
-      fold_deps, std::move(fold_acc));
-  graph.run(async_pipeline_);
 
-  const ExchangeStats stats =
-      pipeline::finalize_exchange_stats(acct, dist_, cluster_);
-  total_comm_bytes_ += stats.total_bytes();
+  pipeline::finalize_exchange_stats_into(acct, dist_, cluster_,
+                                         stats_scratch_);
+  total_comm_bytes_ += stats_scratch_.total_bytes();
   // Modeled epoch time, same composition as before: central backward hides
   // inside the comm window, quantize kernels and marginal backward do not.
   const double central_s = max_compute_seconds(l, true, true);
-  const double tq = stats.max_quant_seconds();
-  const double tdq = stats.max_dequant_seconds();
-  bd.comm = stats.comm_seconds;
+  const double tq = stats_scratch_.max_quant_seconds();
+  const double tdq = stats_scratch_.max_dequant_seconds();
+  bd.comm = stats_scratch_.comm_seconds;
   bd.quant = tq + tdq;
   bd.comp = marginal_compute_seconds_max(l, true);
-  bd.total = tq + std::max(stats.comm_seconds, central_s) + tdq + bd.comp;
+  bd.total =
+      tq + std::max(stats_scratch_.comm_seconds, central_s) + tdq + bd.comp;
   return bd;
 }
 
 double DistTrainer::join_pipegcn_forward(int l) {
-  if (!pipegcn_fwd_inflight_[l]) return 0.0;
-  const ExchangeStats stats = pipegcn_fwd_inflight_[l]->wait();
-  pipegcn_fwd_inflight_[l].reset();
-  total_comm_bytes_ += stats.total_bytes();
-  if (l == 0) last_layer1_pair_bytes_ = stats.pair_bytes;
-  pipegcn_joined_comm_[l] += stats.comm_seconds;
-  return stats.comm_seconds;
+  if (!pipegcn_fwd_active_[l]) return 0.0;
+  pipegcn_fwd_inflight_[l]->wait_into(stats_scratch_);
+  pipegcn_fwd_active_[l] = 0;
+  total_comm_bytes_ += stats_scratch_.total_bytes();
+  if (l == 0) last_layer1_pair_bytes_ = stats_scratch_.pair_bytes;
+  pipegcn_joined_comm_[l] += stats_scratch_.comm_seconds;
+  return stats_scratch_.comm_seconds;
 }
 
 double DistTrainer::join_pipegcn_backward(int l) {
-  if (!pipegcn_bwd_inflight_[l]) return 0.0;
-  const ExchangeStats stats = pipegcn_bwd_inflight_[l]->wait();
-  pipegcn_bwd_inflight_[l].reset();
-  total_comm_bytes_ += stats.total_bytes();
-  return stats.comm_seconds;
+  if (!pipegcn_bwd_active_[l]) return 0.0;
+  pipegcn_bwd_inflight_[l]->wait_into(stats_scratch_);
+  pipegcn_bwd_active_[l] = 0;
+  total_comm_bytes_ += stats_scratch_.total_bytes();
+  return stats_scratch_.comm_seconds;
 }
 
 void DistTrainer::submit_pipegcn_forward(int l) {
-  pipegcn_fwd_inflight_[l] =
-      std::make_unique<pipeline::AsyncExchange>(dist_, cluster_);
   // fwd_plans_[l] is uniform 32-bit and never refreshed for PipeGCN, so it
-  // is stable for the whole time this exchange stays in flight.
+  // is stable for the whole time this exchange stays in flight. The
+  // exchange object is persistent (built + warmed in the constructor).
   pipegcn_fwd_inflight_[l]->submit_forward(acts_[l], fwd_plans_[l],
                                            device_rngs_, async_pipeline_);
+  pipegcn_fwd_active_[l] = 1;
 }
 
 void DistTrainer::refresh_plans() {
@@ -908,15 +1111,24 @@ EpochRecord DistTrainer::train_epoch() {
   EpochRecord rec;
   rec.epoch = epoch_;
 
-  model_.zero_grad();
+  // Epoch-arena scratch from the previous epoch dies here; pooled and
+  // persistent buffers keep their capacity (the steady-state contract,
+  // docs/ARCHITECTURE.md "Memory subsystem").
+  ws_.arena().reset();
+
+  const std::uint64_t a0 = memory::alloc_count();
+  for (Param* p : params_) p->grad.set_zero();
   double loss = 0.0;
   EpochBreakdown fwd = forward_pass(/*training=*/true, &loss);
+  const std::uint64_t a1 = memory::alloc_count();
   EpochBreakdown bwd = backward_pass();
+  const std::uint64_t a2 = memory::alloc_count();
   rec.train_loss = loss;
 
   // Model-gradient synchronization (numerics already global; timing only).
-  const double sync = allreduce_seconds(cluster_, model_.grad_bytes());
-  adam_.step(model_.params());
+  const double sync = allreduce_seconds(cluster_, grad_bytes_);
+  adam_.step(params_);
+  const std::uint64_t a3 = memory::alloc_count();
 
   rec.time = fwd;
   rec.time.accumulate(bwd);
@@ -928,14 +1140,41 @@ EpochRecord DistTrainer::train_epoch() {
   // Periodic bit-width (re-)assignment at the end of the traced period.
   const bool quantizing = opts_.method == Method::kAdaQP ||
                           opts_.method == Method::kAdaQPUniform;
-  if (quantizing &&
-      (epoch_ == 0 || (epoch_ + 1) % std::max(opts_.reassign_period, 1) == 0))
-    refresh_plans();
+  const bool refresh_now =
+      quantizing &&
+      (epoch_ == 0 || (epoch_ + 1) % std::max(opts_.reassign_period, 1) == 0);
+  if (refresh_now) refresh_plans();
+  const std::uint64_t a4 = memory::alloc_count();
 
   if (opts_.eval_every_epoch) {
     const auto [val, test] = evaluate();
     rec.val_acc = val;
     rec.test_acc = test;
+  }
+  const std::uint64_t a5 = memory::alloc_count();
+
+  alloc_report_.forward = a1 - a0;
+  alloc_report_.backward = a2 - a1;
+  alloc_report_.optimizer = a3 - a2;
+  alloc_report_.refresh = a4 - a3;
+  alloc_report_.evaluation = a5 - a4;
+  // The zero-allocation contract covers warm training epochs proper: plan
+  // refreshes, evaluation and the observability modes are excluded (they
+  // rebuild data structures by design).
+  alloc_report_.steady_state =
+      epoch_ > 0 && !refresh_now && !opts_.eval_every_epoch &&
+      !opts_.verbose && !analysis::racecheck_enabled() &&
+      !pipeline::TraceRecorder::instance().enabled();
+  if (alloc_report_.steady_state && memory::track_enabled() &&
+      alloc_report_.total() != 0) {
+    throw std::runtime_error(
+        "ADAQP_ALLOC_TRACK: steady-state epoch " + std::to_string(epoch_) +
+        " allocated (forward=" + std::to_string(alloc_report_.forward) +
+        " backward=" + std::to_string(alloc_report_.backward) +
+        " optimizer=" + std::to_string(alloc_report_.optimizer) +
+        " refresh=" + std::to_string(alloc_report_.refresh) +
+        " evaluation=" + std::to_string(alloc_report_.evaluation) + "); " +
+        std::string(memory::steady_state_definition()));
   }
   ++epoch_;
   return rec;

@@ -60,7 +60,9 @@
 #include "dist/halo_exchange.h"
 #include "gnn/adam.h"
 #include "gnn/model.h"
+#include "memory/workspace.h"
 #include "pipeline/async_exchange.h"
+#include "runtime/parallel_for.h"
 
 namespace adaqp {
 
@@ -98,6 +100,24 @@ struct EpochRecord {
   double val_acc = 0.0;
   double test_acc = 0.0;
   EpochBreakdown time;
+};
+
+/// Heap-allocation counts of the last train_epoch(), by phase (global
+/// operator-new calls observed by memory::alloc_track). `steady_state`
+/// records whether the epoch qualified for the zero-allocation contract
+/// (see memory::steady_state_definition()); under ADAQP_ALLOC_TRACK=1,
+/// train_epoch() throws if a qualifying epoch allocated at all.
+struct EpochAllocReport {
+  std::uint64_t forward = 0;
+  std::uint64_t backward = 0;
+  std::uint64_t optimizer = 0;   ///< gradient allreduce accounting + Adam
+  std::uint64_t refresh = 0;     ///< bit-width plan re-assignment
+  std::uint64_t evaluation = 0;
+  bool steady_state = false;
+
+  std::uint64_t total() const {
+    return forward + backward + optimizer + refresh + evaluation;
+  }
 };
 
 struct RunResult {
@@ -148,13 +168,31 @@ class DistTrainer {
     return last_layer1_pair_bytes_;
   }
 
+  /// Per-phase heap-allocation counts of the most recent train_epoch().
+  const EpochAllocReport& last_alloc_report() const { return alloc_report_; }
+
+  /// The trainer's scratch-memory subsystem (exposed for tests/benches).
+  const memory::Workspace& workspace() const { return ws_; }
+
  private:
   void refresh_plans();
   EpochBreakdown forward_pass(bool training, double* loss_out);
   EpochBreakdown backward_pass();
 
   /// Run fn(d) for every device as one task group on the runtime pool.
-  void run_device_tasks(const std::function<void(int)>& fn) const;
+  /// Templated so per-epoch calls build no std::function (part of the
+  /// zero-allocation steady-state contract, docs/ARCHITECTURE.md).
+  template <typename Fn>
+  void run_device_tasks(const Fn& fn) const {
+    parallel_for_each(static_cast<std::size_t>(num_devices_),
+                      [&fn](std::size_t d) { fn(static_cast<int>(d)); });
+  }
+
+  /// Persistent per-layer synchronous exchanges (Vanilla, PipeGCN cold
+  /// start, the phased ADAQP_ASYNC=0 forward): one multi-shot AsyncExchange
+  /// each, built on first use, submit+wait per call thereafter.
+  pipeline::AsyncExchange& sync_forward_exchange(int l);
+  pipeline::AsyncExchange& sync_backward_exchange(int l);
 
   // Per-method forward halo handling for layer input index `l` (the input
   // matrices acts_[l]); returns stage time contributions.
@@ -254,11 +292,70 @@ class DistTrainer {
   std::size_t total_comm_bytes_ = 0;
   std::vector<std::vector<std::size_t>> last_layer1_pair_bytes_;
 
-  // In-flight PipeGCN deferred exchanges, one slot per layer input.
-  // Declared last so they are destroyed (and therefore joined) before the
-  // activation / scratch / plan members their stages reference.
+  // ---- Memory subsystem (zero-allocation steady state) --------------------
+  // The Workspace owns every pooled scratch buffer below; it is declared
+  // before anything that borrows from it so the borrowers' pointers die
+  // first. All pool keys are resolved on the main thread — at construction
+  // or during the warmup epoch — so steady-state epochs perform no pool
+  // inserts (rule 4 of the workspace ownership rules).
+  memory::Workspace ws_;
+
+  std::vector<Param*> params_;   ///< cached model_.params() (stable set)
+  std::size_t grad_bytes_ = 0;   ///< cached model_.grad_bytes()
+  ExchangeStats stats_scratch_;  ///< reusable stats sink (main thread only)
+  EncodedBlock wire_block_;      ///< SANCUS serial wire staging
+  std::vector<float> wire_uniforms_;
+  EpochAllocReport alloc_report_;
+
+  // Loss scratch, resolved from ws_ at construction (the pool is not
+  // thread-safe; device tasks only use the buffers they were handed).
+  std::vector<Matrix*> loss_sink_;                ///< per device
+  std::vector<std::vector<double>*> loss_prob_;   ///< per device
+
+  // Backward activation-gradient ping-pong. The parity of the buffer that
+  // holds layer l's incoming gradient is fixed ((num_layers-1-l) & 1), so
+  // the persistent backward stage graphs can capture these by reference.
+  std::vector<std::vector<Matrix>> grad_flow_;    ///< [parity][device]
+
+  // Persistent per-(layer, device) backward sinks and temporaries of the
+  // phased (non-fused) backward path.
+  std::vector<std::vector<LayerGrads>> bwd_sinks_;
+  std::vector<std::vector<LayerBackwardScratch>> bwd_scratch_;
+
+  // SANCUS pooled scratch (pointers into ws_), pre-warmed at construction
+  // so no key is first touched — and no capacity first grown — in a
+  // steady-state epoch.
+  std::vector<std::vector<Matrix*>> sancus_snapshot_;   ///< [layer][device]
+  std::vector<std::vector<Matrix*>> sancus_diff_;       ///< [layer][device]
+  std::vector<std::vector<std::vector<int>*>> sancus_bits_;
+  Matrix* sancus_tmp_ = nullptr;                ///< backward decode staging
+  std::vector<NodeId>* sancus_seq_ = nullptr;   ///< identity row list
+  std::vector<std::vector<std::size_t>> sancus_pair_bytes_;
+
+  // Persistent synchronous exchanges, one per layer, built on first use.
+  std::vector<std::unique_ptr<pipeline::AsyncExchange>> sync_fwd_ex_;
+  std::vector<std::unique_ptr<pipeline::AsyncExchange>> sync_bwd_ex_;
+
+  // Persistent AdaQP fused stage graphs — built once during warmup,
+  // reset() + re-run every later epoch — and the per-layer accounting,
+  // sinks and temporaries their stages reference.
+  std::vector<std::unique_ptr<pipeline::StageGraph>> adaqp_fwd_graph_;
+  std::vector<pipeline::ExchangeAccounting> adaqp_fwd_acct_;
+  std::vector<std::unique_ptr<pipeline::StageGraph>> adaqp_bwd_graph_;
+  std::vector<pipeline::ExchangeAccounting> adaqp_bwd_acct_;
+  std::vector<std::vector<LayerGrads>> adaqp_marginal_sinks_;
+  std::vector<std::vector<LayerGrads>> adaqp_central_sinks_;
+  std::vector<std::vector<LayerBackwardScratch>> adaqp_bwd_scratch_;
+  std::vector<const void*> adaqp_bwd_bound_;  ///< grads vector bound at build
+
+  // In-flight PipeGCN deferred exchanges, one slot per layer input; the
+  // objects are persistent (multi-shot), the flags say whether a round is
+  // in flight. Declared last so they are destroyed (and therefore joined)
+  // before the activation / scratch / plan members their stages reference.
   std::vector<std::unique_ptr<pipeline::AsyncExchange>> pipegcn_fwd_inflight_;
   std::vector<std::unique_ptr<pipeline::AsyncExchange>> pipegcn_bwd_inflight_;
+  std::vector<char> pipegcn_fwd_active_;
+  std::vector<char> pipegcn_bwd_active_;
 };
 
 /// Convenience wrapper: partition + build + train one (dataset, model,

@@ -1,9 +1,13 @@
+// lint:hot-path-file — steady-state epochs run through this TU; every
+// allocation below must be warmup/build-time only (docs/ARCHITECTURE.md,
+// "Memory subsystem").
 #include "gnn/aggregate.h"
 
 #include <cmath>
 
 #include "common/check.h"
 #include "runtime/parallel_for.h"
+#include "simd/kernels.h"
 
 namespace adaqp {
 
@@ -65,10 +69,127 @@ void aggregate_forward(const DeviceGraph& dev, Aggregator agg, const Matrix& x,
 
 void aggregate_forward(const DeviceGraph& dev, Aggregator agg, const Matrix& x,
                        Matrix& out) {
-  if (out.rows() != dev.num_owned || out.cols() != x.cols())
-    out = Matrix(dev.num_owned, x.cols());
+  // Every owned row is fully overwritten below, so stale contents are fine —
+  // reshape_uninit reuses the retained capacity instead of reallocating.
+  out.reshape_uninit(dev.num_owned, x.cols());
   std::vector<NodeId> scratch;
   aggregate_forward(dev, agg, x, dev.owned_span_or(scratch), out);
+}
+
+AggregatePlan build_aggregate_plan(const DeviceGraph& dev, Aggregator agg) {
+  AggregatePlan plan;
+  plan.agg = agg;
+  plan.self_coeff.resize(dev.num_owned);  // lint:allow(hot-path-alloc) plan build (refresh only)
+  for (std::size_t v = 0; v < dev.num_owned; ++v)
+    plan.self_coeff[v] =
+        static_cast<float>(self_coefficient(agg, dev.global_degree[v]));
+  plan.coeff.resize(dev.neighbor_ids.size());  // lint:allow(hot-path-alloc) plan build (refresh only)
+  for (std::size_t v = 0; v < dev.num_owned; ++v) {
+    const auto dv = dev.global_degree[v];
+    for (EdgeIdx e = dev.offsets[v]; e < dev.offsets[v + 1]; ++e)
+      plan.coeff[e] = static_cast<float>(aggregation_coefficient(
+          agg, dev.global_degree[dev.neighbor_ids[e]], dv));
+  }
+  if (dev.has_transpose()) {
+    plan.in_coeff.resize(dev.in_sources.size());  // lint:allow(hot-path-alloc) plan build (refresh only)
+    plan.in_split.resize(dev.num_local());  // lint:allow(hot-path-alloc) plan build (refresh only)
+    for (std::size_t u = 0; u < dev.num_local(); ++u) {
+      const auto du = dev.global_degree[u];
+      const EdgeIdx begin = dev.in_offsets[u], end = dev.in_offsets[u + 1];
+      std::uint32_t split = static_cast<std::uint32_t>(end - begin);
+      for (EdgeIdx e = begin; e < end; ++e) {
+        const NodeId v = dev.in_sources[e];
+        plan.in_coeff[e] = static_cast<float>(
+            aggregation_coefficient(agg, du, dev.global_degree[v]));
+        if (v >= u && e - begin < split)
+          split = static_cast<std::uint32_t>(e - begin);
+      }
+      plan.in_split[u] = split;
+    }
+  }
+  plan.ready = true;
+  return plan;
+}
+
+void aggregate_forward(const DeviceGraph& dev, const AggregatePlan& plan,
+                       const Matrix& x, std::span<const NodeId> rows,
+                       Matrix& out) {
+  ADAQP_CHECK(plan.ready && plan.self_coeff.size() == dev.num_owned);
+  ADAQP_CHECK(x.rows() == dev.num_local());
+  ADAQP_CHECK(out.rows() >= dev.num_owned && out.cols() == x.cols());
+  const std::size_t dim = x.cols();
+  const simd::KernelTable& kt = simd::kernels();
+  parallel_for(rows.size(), kRowGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t idx = b; idx < e; ++idx) {
+      const NodeId v = rows[idx];
+      ADAQP_CHECK(v < dev.num_owned);
+      float* dst = out.row(v).data();
+      kt.scale_row(plan.self_coeff[v], x.row(v).data(), dst, dim);
+      const EdgeIdx begin = dev.offsets[v];
+      kt.gather_axpy(x.data(), dim, dev.neighbor_ids.data() + begin,
+                     plan.coeff.data() + begin,
+                     static_cast<std::size_t>(dev.offsets[v + 1] - begin),
+                     dst, dim);
+    }
+  });
+}
+
+void aggregate_backward(const DeviceGraph& dev, const AggregatePlan& plan,
+                        const Matrix& grad_out, std::span<const NodeId> rows,
+                        Matrix& grad_x) {
+  ADAQP_CHECK(plan.ready && plan.self_coeff.size() == dev.num_owned);
+  ADAQP_CHECK(grad_x.rows() == dev.num_local());
+  ADAQP_CHECK(grad_x.cols() == grad_out.cols());
+  const std::size_t dim = grad_out.cols();
+  const simd::KernelTable& kt = simd::kernels();
+  for (NodeId v : rows) {
+    ADAQP_CHECK(v < dev.num_owned);
+    const float* g = grad_out.row(v).data();
+    kt.axpy(plan.self_coeff[v], g, grad_x.row(v).data(), dim);
+    for (EdgeIdx e = dev.offsets[v]; e < dev.offsets[v + 1]; ++e)
+      kt.axpy(plan.coeff[e], g, grad_x.row(dev.neighbor_ids[e]).data(), dim);
+  }
+}
+
+void aggregate_backward(const DeviceGraph& dev, const AggregatePlan& plan,
+                        const Matrix& grad_out, Matrix& grad_x) {
+  if (!dev.has_transpose()) {
+    // Hand-built DeviceGraphs without a transpose CSR fall back to the
+    // serial scatter kernel (cold path; the identity-list build may
+    // allocate).
+    std::vector<NodeId> scratch;
+    aggregate_backward(dev, plan, grad_out, dev.owned_span_or(scratch),
+                       grad_x);
+    return;
+  }
+  ADAQP_CHECK(plan.ready && plan.in_split.size() == dev.num_local());
+  ADAQP_CHECK(grad_x.rows() == dev.num_local());
+  ADAQP_CHECK(grad_x.cols() == grad_out.cols());
+  ADAQP_CHECK(grad_out.rows() >= dev.num_owned);
+  const std::size_t dim = grad_out.cols();
+  const simd::KernelTable& kt = simd::kernels();
+  // Gather form over the transpose CSR, split around the self term at the
+  // precomputed in_split point — the same per-element accumulation order as
+  // the serial scatter (sources ascending, self inserted at the first
+  // source >= destination), so the result is bit-identical to it at any
+  // thread count and ISA.
+  parallel_for(dev.num_local(), kRowGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t ui = b; ui < e; ++ui) {
+      const NodeId u = static_cast<NodeId>(ui);
+      float* dst = grad_x.row(u).data();
+      const EdgeIdx begin = dev.in_offsets[u];
+      const std::size_t count =
+          static_cast<std::size_t>(dev.in_offsets[u + 1] - begin);
+      const std::size_t split = plan.in_split[ui];
+      const NodeId* idx = dev.in_sources.data() + begin;
+      const float* cf = plan.in_coeff.data() + begin;
+      kt.gather_axpy(grad_out.data(), dim, idx, cf, split, dst, dim);
+      if (ui < dev.num_owned)
+        kt.axpy(plan.self_coeff[ui], grad_out.row(u).data(), dst, dim);
+      kt.gather_axpy(grad_out.data(), dim, idx + split, cf + split,
+                     count - split, dst, dim);
+    }
+  });
 }
 
 void aggregate_backward(const DeviceGraph& dev, Aggregator agg,

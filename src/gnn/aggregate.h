@@ -32,6 +32,33 @@ double aggregation_coefficient(Aggregator agg, std::uint32_t deg_u,
 /// Self coefficient α(v,v) (zero for SAGE-mean).
 double self_coefficient(Aggregator agg, std::uint32_t deg_v);
 
+/// Precomputed per-edge coefficients for one (device, aggregator) pair — the
+/// steady-state form of the aggregation kernels. Built once (first epoch,
+/// cached in LayerCache); the plan-based kernels below then run
+/// allocation-free and dispatch their per-row inner loops through the SIMD
+/// kernel table (scale_row / axpy / gather_axpy). Coefficients are the same
+/// float casts the plan-less kernels compute per edge, so plan and plan-less
+/// paths are bit-identical.
+struct AggregatePlan {
+  bool ready = false;
+  Aggregator agg = Aggregator::kGcn;
+  /// α(v,v) per owned local id (zero for SAGE-mean).
+  std::vector<float> self_coeff;
+  /// α(u,v) per forward CSR edge, aligned with DeviceGraph::neighbor_ids.
+  std::vector<float> coeff;
+  /// α(u,v) per transpose CSR edge, aligned with DeviceGraph::in_sources.
+  std::vector<float> in_coeff;
+  /// Per local row u: the relative edge index within u's transpose band
+  /// where the self term is inserted (first source >= u) — splits the
+  /// adjoint's gather into two kernel calls around the self axpy so the
+  /// per-element accumulation order matches the serial scatter exactly.
+  std::vector<std::uint32_t> in_split;
+};
+
+/// Build the plan for (dev, agg). The transpose-CSR fields are filled only
+/// when dev.has_transpose().
+AggregatePlan build_aggregate_plan(const DeviceGraph& dev, Aggregator agg);
+
 /// out (num_owned x dim) = aggregate over rows of x (num_local x dim),
 /// restricted to the owned rows in `rows`. Other rows of `out` are untouched.
 void aggregate_forward(const DeviceGraph& dev, Aggregator agg, const Matrix& x,
@@ -53,6 +80,25 @@ void aggregate_backward(const DeviceGraph& dev, Aggregator agg,
 /// per-destination source order identical to the scatter kernel — so the
 /// result is bit-identical to the serial scatter at any thread count.
 void aggregate_backward(const DeviceGraph& dev, Aggregator agg,
+                        const Matrix& grad_out, Matrix& grad_x);
+
+// ---- Plan-based forms (steady-state path; see AggregatePlan) ---------------
+
+/// aggregate_forward with precomputed coefficients, inner loops through the
+/// SIMD kernel table. Bit-identical to the plan-less span form.
+void aggregate_forward(const DeviceGraph& dev, const AggregatePlan& plan,
+                       const Matrix& x, std::span<const NodeId> rows,
+                       Matrix& out);
+
+/// Row-subset adjoint (serial scatter) with precomputed coefficients.
+/// Bit-identical to the plan-less span form.
+void aggregate_backward(const DeviceGraph& dev, const AggregatePlan& plan,
+                        const Matrix& grad_out, std::span<const NodeId> rows,
+                        Matrix& grad_x);
+
+/// Full adjoint (parallel gather over the transpose CSR) with precomputed
+/// coefficients. Bit-identical to the plan-less full form.
+void aggregate_backward(const DeviceGraph& dev, const AggregatePlan& plan,
                         const Matrix& grad_out, Matrix& grad_x);
 
 // ---- FLOP accounting for the cost model ------------------------------------

@@ -1,3 +1,6 @@
+// lint:hot-path-file — steady-state epochs run through this TU; every
+// allocation below must be warmup/build-time only (docs/ARCHITECTURE.md,
+// "Memory subsystem").
 #include "gnn/layers.h"
 
 #include <cmath>
@@ -78,9 +81,9 @@ inline void layer_norm_backward_row(const Matrix& grad_out,
 void LayerNorm::forward(const Matrix& in, Matrix& out, Cache& cache) const {
   const std::size_t rows = in.rows(), dim = in.cols();
   ADAQP_CHECK(gamma.value.cols() == dim);
-  if (!out.same_shape(in)) out = Matrix(rows, dim);
-  if (!cache.normalized.same_shape(in)) cache.normalized = Matrix(rows, dim);
-  cache.rstd.resize(rows);
+  out.reshape_uninit(rows, dim);  // every row is written below
+  cache.normalized.reshape_uninit(rows, dim);
+  cache.rstd.resize(rows);  // lint:allow(hot-path-alloc) capacity retained
   for (std::size_t r = 0; r < rows; ++r)
     layer_norm_row(in, out, cache, gamma.value, beta.value, epsilon, r);
 }
@@ -105,9 +108,9 @@ void LayerNorm::backward(const Matrix& grad_out, const Cache& cache,
                          Matrix& dbeta) const {
   const std::size_t rows = grad_out.rows(), dim = grad_out.cols();
   ADAQP_CHECK(cache.normalized.same_shape(grad_out));
-  if (!grad_in.same_shape(grad_out)) grad_in = Matrix(rows, dim);
-  if (dgamma.rows() != 1 || dgamma.cols() != dim) dgamma = Matrix(1, dim);
-  if (dbeta.rows() != 1 || dbeta.cols() != dim) dbeta = Matrix(1, dim);
+  grad_in.reshape_uninit(rows, dim);  // every row is written below
+  if (dgamma.rows() != 1 || dgamma.cols() != dim) dgamma.reshape_zero(1, dim);
+  if (dbeta.rows() != 1 || dbeta.cols() != dim) dbeta.reshape_zero(1, dim);
   for (std::size_t r = 0; r < rows; ++r)
     layer_norm_backward_row(grad_out, cache, grad_in, dgamma, dbeta,
                             gamma.value, r);
@@ -119,8 +122,8 @@ void LayerNorm::backward_rows(const Matrix& grad_out, const Cache& cache,
   const std::size_t dim = grad_out.cols();
   ADAQP_CHECK(cache.normalized.same_shape(grad_out));
   ADAQP_CHECK(grad_in.same_shape(grad_out));
-  if (dgamma.rows() != 1 || dgamma.cols() != dim) dgamma = Matrix(1, dim);
-  if (dbeta.rows() != 1 || dbeta.cols() != dim) dbeta = Matrix(1, dim);
+  if (dgamma.rows() != 1 || dgamma.cols() != dim) dgamma.reshape_zero(1, dim);
+  if (dbeta.rows() != 1 || dbeta.cols() != dim) dbeta.reshape_zero(1, dim);
   for (NodeId r : rows)
     layer_norm_backward_row(grad_out, cache, grad_in, dgamma, dbeta,
                             gamma.value, r);
@@ -154,8 +157,13 @@ void GnnLayer::forward(const DeviceGraph& dev, const Matrix& x_local,
 void GnnLayer::forward_prepare(const DeviceGraph& dev, LayerCache& cache,
                                Rng& rng, bool training) const {
   const std::size_t owned = dev.num_owned;
+  if (!cache.agg_plan.ready)
+    cache.agg_plan = build_aggregate_plan(dev, config_.aggregator);
+  // Reshape in place: a no-op once shapes are stable, so steady-state epochs
+  // never reallocate the cache. Every ensured matrix is (re)written by the
+  // forward_rows calls that follow.
   const auto ensure = [](Matrix& m, std::size_t r, std::size_t c) {
-    if (m.rows() != r || m.cols() != c) m = Matrix(r, c);
+    m.reshape_uninit(r, c);
   };
   ensure(cache.agg, owned, config_.in_dim);
   ensure(cache.pre_norm, owned, config_.out_dim);
@@ -167,7 +175,7 @@ void GnnLayer::forward_prepare(const DeviceGraph& dev, LayerCache& cache,
   ensure(cache.pre_act, owned, config_.out_dim);
   if (config_.layer_norm) {
     ensure(cache.ln.normalized, owned, config_.out_dim);
-    cache.ln.rstd.resize(owned);
+    cache.ln.rstd.resize(owned);  // lint:allow(hot-path-alloc) capacity retained
   }
   if (training && config_.dropout > 0.0f) {
     // Row-major over all owned rows: the exact draws dropout_forward makes,
@@ -189,12 +197,12 @@ void GnnLayer::forward_rows(const DeviceGraph& dev, const Matrix& x_local,
   ADAQP_CHECK(out.rows() >= dev.num_owned && out.cols() == config_.out_dim);
   ADAQP_CHECK(cache.pre_norm.rows() == dev.num_owned);
 
+  ADAQP_CHECK(cache.agg_plan.ready);  // forward_prepare builds the plan
   if (config_.aggregator != Aggregator::kSageMean) {
-    aggregate_forward(dev, config_.aggregator, x_local, rows, cache.agg);
+    aggregate_forward(dev, cache.agg_plan, x_local, rows, cache.agg);
     gemm_rows(cache.agg, weight_.value, cache.pre_norm, rows);
   } else {
-    aggregate_forward(dev, Aggregator::kSageMean, x_local, rows,
-                      cache.mean_nbr);
+    aggregate_forward(dev, cache.agg_plan, x_local, rows, cache.mean_nbr);
     gemm_rows(cache.mean_nbr, weight_.value, cache.pre_norm, rows);
     // Self path uses the owned rows of x (cached for dW_self).
     for (NodeId v : rows) {
@@ -255,59 +263,77 @@ void GnnLayer::apply_grads(const LayerGrads& sink) {
 void GnnLayer::backward(const DeviceGraph& dev, const Matrix& grad_out,
                         const LayerCache& cache, Matrix& grad_x,
                         LayerGrads& sink) const {
+  LayerBackwardScratch scratch;
+  backward(dev, grad_out, cache, grad_x, sink, scratch);
+}
+
+namespace {
+
+/// Reproduce the old `sink = LayerGrads{}` contract for the members a layer
+/// never writes, without per-call churn: deallocate once if a previous user
+/// left data behind, then stay empty (so apply_grads skips them).
+inline void clear_once(Matrix& m) {
+  if (!m.empty()) m = Matrix();
+}
+
+}  // namespace
+
+void GnnLayer::backward(const DeviceGraph& dev, const Matrix& grad_out,
+                        const LayerCache& cache, Matrix& grad_x,
+                        LayerGrads& sink, LayerBackwardScratch& s) const {
   ADAQP_CHECK(grad_out.rows() >= dev.num_owned);
   ADAQP_CHECK(grad_out.cols() == config_.out_dim);
-  sink = LayerGrads{};
+  ADAQP_CHECK(cache.agg_plan.ready);
 
   // Owned-row slice of the incoming gradient.
-  Matrix dh(dev.num_owned, config_.out_dim);
+  s.dh.reshape_uninit(dev.num_owned, config_.out_dim);
   for (std::size_t r = 0; r < dev.num_owned; ++r) {
     const auto src = grad_out.row(r);
-    std::copy(src.begin(), src.end(), dh.row(r).begin());
+    std::copy(src.begin(), src.end(), s.dh.row(r).begin());
   }
 
-  Matrix dpre_norm;
+  // Select the LayerNorm-adjoint source by pointer (a move would empty the
+  // persistent scratch member and force a reallocation next call).
+  const Matrix* dpre_norm = &s.dpre_norm;
   if (!config_.is_output) {
-    Matrix dpost_act;
-    dropout_backward(dh, cache.drop_mask, dpost_act);
-    Matrix dpre_act;
-    relu_backward(cache.pre_act, dpost_act, dpre_act);
+    dropout_backward(s.dh, cache.drop_mask, s.dpost_act);
+    relu_backward(cache.pre_act, s.dpost_act, s.dpre_act);
     if (config_.layer_norm) {
-      norm_.backward(dpre_act, cache.ln, dpre_norm, sink.gamma, sink.beta);
+      sink.gamma.reshape_zero(1, config_.out_dim);
+      sink.beta.reshape_zero(1, config_.out_dim);
+      norm_.backward(s.dpre_act, cache.ln, s.dpre_norm, sink.gamma, sink.beta);
     } else {
-      dpre_norm = std::move(dpre_act);
+      clear_once(sink.gamma);
+      clear_once(sink.beta);
+      dpre_norm = &s.dpre_act;
     }
   } else {
-    dpre_norm = std::move(dh);
+    clear_once(sink.gamma);
+    clear_once(sink.beta);
+    dpre_norm = &s.dh;
   }
 
-  // Dense transform backward.
-  Matrix dagg;  // grad wrt aggregated input (num_owned x in_dim)
+  // Dense transform backward (gemm_tn / gemm_nt overwrite their outputs,
+  // reshaping in place).
   if (config_.aggregator != Aggregator::kSageMean) {
-    gemm_tn(cache.agg, dpre_norm, sink.weight);
-    gemm_nt(dpre_norm, weight_.value, dagg);
-    if (grad_x.rows() != dev.num_local() || grad_x.cols() != config_.in_dim)
-      grad_x = Matrix(dev.num_local(), config_.in_dim);
-    else
-      grad_x.set_zero();
-    aggregate_backward(dev, config_.aggregator, dagg, grad_x);
+    clear_once(sink.weight_self);
+    gemm_tn(cache.agg, *dpre_norm, sink.weight);
+    gemm_nt(*dpre_norm, weight_.value, s.dagg);
+    grad_x.reshape_zero(dev.num_local(), config_.in_dim);
+    aggregate_backward(dev, cache.agg_plan, s.dagg, grad_x);
   } else {
     // Neighbor path: cache.mean_nbr, weight_; self path: cache.agg (owned
     // input rows), weight_self_.
-    gemm_tn(cache.mean_nbr, dpre_norm, sink.weight);
-    gemm_tn(cache.agg, dpre_norm, sink.weight_self);
+    gemm_tn(cache.mean_nbr, *dpre_norm, sink.weight);
+    gemm_tn(cache.agg, *dpre_norm, sink.weight_self);
 
-    gemm_nt(dpre_norm, weight_.value, dagg);
-    if (grad_x.rows() != dev.num_local() || grad_x.cols() != config_.in_dim)
-      grad_x = Matrix(dev.num_local(), config_.in_dim);
-    else
-      grad_x.set_zero();
-    aggregate_backward(dev, Aggregator::kSageMean, dagg, grad_x);
-    Matrix dself;
-    gemm_nt(dpre_norm, weight_self_.value, dself);
+    gemm_nt(*dpre_norm, weight_.value, s.dagg);
+    grad_x.reshape_zero(dev.num_local(), config_.in_dim);
+    aggregate_backward(dev, cache.agg_plan, s.dagg, grad_x);
+    gemm_nt(*dpre_norm, weight_self_.value, s.dself);
     for (std::size_t r = 0; r < dev.num_owned; ++r) {
       auto dst = grad_x.row(r);
-      const auto src = dself.row(r);
+      const auto src = s.dself.row(r);
       for (std::size_t c = 0; c < config_.in_dim; ++c) dst[c] += src[c];
     }
   }
@@ -317,42 +343,65 @@ void GnnLayer::backward_rows(const DeviceGraph& dev, const Matrix& grad_out,
                              const LayerCache& cache, Matrix& grad_x,
                              LayerGrads& sink,
                              std::span<const NodeId> rows) const {
+  LayerBackwardScratch scratch;
+  backward_rows(dev, grad_out, cache, grad_x, sink, rows, scratch);
+}
+
+void GnnLayer::backward_rows(const DeviceGraph& dev, const Matrix& grad_out,
+                             const LayerCache& cache, Matrix& grad_x,
+                             LayerGrads& sink, std::span<const NodeId> rows,
+                             LayerBackwardScratch& s) const {
   ADAQP_CHECK(grad_out.rows() >= dev.num_owned);
   ADAQP_CHECK(grad_out.cols() == config_.out_dim);
   ADAQP_CHECK(grad_x.rows() == dev.num_local());
   ADAQP_CHECK(grad_x.cols() == config_.in_dim);
-  sink = LayerGrads{};
-  if (rows.empty()) return;
+  ADAQP_CHECK(cache.agg_plan.ready);
+  if (rows.empty()) {
+    // Old contract: an empty subset contributes nothing. Leave the sink's
+    // members empty so apply_grads skips them.
+    clear_once(sink.weight);
+    clear_once(sink.weight_self);
+    clear_once(sink.gamma);
+    clear_once(sink.beta);
+    return;
+  }
 
   // Epilogue adjoint of the subset rows: the pre-drawn dropout mask and the
   // ReLU gate, fused row-wise (identical arithmetic to dropout_backward +
-  // relu_backward), then LayerNorm.
-  Matrix dpre_norm(dev.num_owned, config_.out_dim);
+  // relu_backward), then LayerNorm. Rows outside the subset are left
+  // uninitialized — every consumer below reads only the subset's rows.
+  s.dpre_norm.reshape_uninit(dev.num_owned, config_.out_dim);
   if (!config_.is_output) {
-    Matrix dpre_act(dev.num_owned, config_.out_dim);
+    s.dpre_act.reshape_uninit(dev.num_owned, config_.out_dim);
     for (NodeId r : rows) {
       const auto dy = grad_out.row(r);
       const auto m = cache.drop_mask.row(r);
       const auto pre = cache.pre_act.row(r);
-      auto dst = dpre_act.row(r);
+      auto dst = s.dpre_act.row(r);
       for (std::size_t c = 0; c < config_.out_dim; ++c) {
         const float dpost = dy[c] * m[c];
         dst[c] = pre[c] > 0.0f ? dpost : 0.0f;
       }
     }
     if (config_.layer_norm) {
-      norm_.backward_rows(dpre_act, cache.ln, dpre_norm, sink.gamma,
+      sink.gamma.reshape_zero(1, config_.out_dim);
+      sink.beta.reshape_zero(1, config_.out_dim);
+      norm_.backward_rows(s.dpre_act, cache.ln, s.dpre_norm, sink.gamma,
                           sink.beta, rows);
     } else {
+      clear_once(sink.gamma);
+      clear_once(sink.beta);
       for (NodeId r : rows) {
-        const auto src = dpre_act.row(r);
-        std::copy(src.begin(), src.end(), dpre_norm.row(r).begin());
+        const auto src = s.dpre_act.row(r);
+        std::copy(src.begin(), src.end(), s.dpre_norm.row(r).begin());
       }
     }
   } else {
+    clear_once(sink.gamma);
+    clear_once(sink.beta);
     for (NodeId r : rows) {
       const auto src = grad_out.row(r);
-      std::copy(src.begin(), src.end(), dpre_norm.row(r).begin());
+      std::copy(src.begin(), src.end(), s.dpre_norm.row(r).begin());
     }
   }
 
@@ -360,21 +409,22 @@ void GnnLayer::backward_rows(const DeviceGraph& dev, const Matrix& grad_out,
   // partials sum the subset's rows in span order; the input-gradient scatter
   // runs the serial per-source kernel, so contributions to a shared
   // destination fold in span order too.
-  Matrix dagg(dev.num_owned, config_.in_dim);
+  s.dagg.reshape_uninit(dev.num_owned, config_.in_dim);
   if (config_.aggregator != Aggregator::kSageMean) {
-    gemm_tn_rows(cache.agg, dpre_norm, sink.weight, rows);
-    gemm_nt_rows(dpre_norm, weight_.value, dagg, rows);
-    aggregate_backward(dev, config_.aggregator, dagg, rows, grad_x);
+    clear_once(sink.weight_self);
+    gemm_tn_rows(cache.agg, s.dpre_norm, sink.weight, rows);
+    gemm_nt_rows(s.dpre_norm, weight_.value, s.dagg, rows);
+    aggregate_backward(dev, cache.agg_plan, s.dagg, rows, grad_x);
   } else {
-    gemm_tn_rows(cache.mean_nbr, dpre_norm, sink.weight, rows);
-    gemm_tn_rows(cache.agg, dpre_norm, sink.weight_self, rows);
-    gemm_nt_rows(dpre_norm, weight_.value, dagg, rows);
-    aggregate_backward(dev, Aggregator::kSageMean, dagg, rows, grad_x);
-    Matrix dself(dev.num_owned, config_.in_dim);
-    gemm_nt_rows(dpre_norm, weight_self_.value, dself, rows);
+    gemm_tn_rows(cache.mean_nbr, s.dpre_norm, sink.weight, rows);
+    gemm_tn_rows(cache.agg, s.dpre_norm, sink.weight_self, rows);
+    gemm_nt_rows(s.dpre_norm, weight_.value, s.dagg, rows);
+    aggregate_backward(dev, cache.agg_plan, s.dagg, rows, grad_x);
+    s.dself.reshape_uninit(dev.num_owned, config_.in_dim);
+    gemm_nt_rows(s.dpre_norm, weight_self_.value, s.dself, rows);
     for (NodeId r : rows) {
       auto dst = grad_x.row(r);
-      const auto src = dself.row(r);
+      const auto src = s.dself.row(r);
       for (std::size_t c = 0; c < config_.in_dim; ++c) dst[c] += src[c];
     }
   }
@@ -382,10 +432,10 @@ void GnnLayer::backward_rows(const DeviceGraph& dev, const Matrix& grad_out,
 
 std::vector<Param*> GnnLayer::params() {
   std::vector<Param*> out{&weight_};
-  if (weight_self_.size() > 0) out.push_back(&weight_self_);
+  if (weight_self_.size() > 0) out.push_back(&weight_self_);  // lint:allow(hot-path-alloc) setup; trainer caches result
   if (!config_.is_output && config_.layer_norm) {
-    out.push_back(&norm_.gamma);
-    out.push_back(&norm_.beta);
+    out.push_back(&norm_.gamma);  // lint:allow(hot-path-alloc) setup; trainer caches result
+    out.push_back(&norm_.beta);  // lint:allow(hot-path-alloc) setup; trainer caches result
   }
   return out;
 }

@@ -95,7 +95,9 @@ struct LayerGrads {
 
 /// Per-device forward cache (intermediates needed by backward). All members
 /// are pre-sized by GnnLayer::forward_prepare, after which row-subset
-/// forward stages fill disjoint row slices concurrently.
+/// forward stages fill disjoint row slices concurrently. The aggregation
+/// plan is built on the first forward_prepare and reused for every later
+/// epoch (device topology and aggregator are fixed per trainer run).
 struct LayerCache {
   Matrix agg;          // GCN: Agg(x); SAGE: owned input rows (for dW_self)
   Matrix mean_nbr;     // SAGE only: Mean(x), num_owned x in_dim
@@ -104,6 +106,20 @@ struct LayerCache {
   Matrix pre_act;      // after LN, num_owned x out_dim
   Matrix drop_mask;    // dropout multipliers (pre-drawn by forward_prepare)
   Matrix self_scratch; // SAGE only: x_self·W_self staging
+  AggregatePlan agg_plan;  // per-edge coefficients (SIMD kernel path)
+};
+
+/// Per-(device, layer) temporaries of one backward call. Persist it across
+/// epochs: every member is reshaped in place (reshape_uninit/reshape_zero),
+/// so after the first epoch backward passes perform no heap allocation —
+/// part of the steady-state contract (docs/ARCHITECTURE.md).
+struct LayerBackwardScratch {
+  Matrix dh;         // owned-row slice of grad_out (full backward only)
+  Matrix dpost_act;  // dropout adjoint staging
+  Matrix dpre_act;   // ReLU adjoint staging
+  Matrix dpre_norm;  // LayerNorm adjoint staging
+  Matrix dagg;       // grad wrt aggregated input
+  Matrix dself;      // SAGE only: grad through W_self
 };
 
 class GnnLayer {
@@ -154,6 +170,13 @@ class GnnLayer {
                 const LayerCache& cache, Matrix& grad_x,
                 LayerGrads& sink) const;
 
+  /// Steady-state variant: identical arithmetic, but all per-call
+  /// temporaries live in the caller-provided `scratch` (reshaped in place),
+  /// so repeated calls with stable shapes perform no heap allocation.
+  void backward(const DeviceGraph& dev, const Matrix& grad_out,
+                const LayerCache& cache, Matrix& grad_x, LayerGrads& sink,
+                LayerBackwardScratch& scratch) const;
+
   /// Row-subset backward (the adjoint mirror of forward_rows): epilogue
   /// derivative, weight-gradient partial sums and input-gradient scatter of
   /// the owned rows in `rows` only. Accumulates into grad_x (pre-sized
@@ -170,6 +193,12 @@ class GnnLayer {
   void backward_rows(const DeviceGraph& dev, const Matrix& grad_out,
                      const LayerCache& cache, Matrix& grad_x, LayerGrads& sink,
                      std::span<const NodeId> rows) const;
+
+  /// Steady-state variant of backward_rows (see the backward overload).
+  void backward_rows(const DeviceGraph& dev, const Matrix& grad_out,
+                     const LayerCache& cache, Matrix& grad_x, LayerGrads& sink,
+                     std::span<const NodeId> rows,
+                     LayerBackwardScratch& scratch) const;
 
   /// Fold one device's contributions into the shared parameter gradients.
   void apply_grads(const LayerGrads& sink);

@@ -1,3 +1,6 @@
+// lint:hot-path-file — steady-state epochs run through this TU; every
+// allocation below must be warmup/build-time only (docs/ARCHITECTURE.md,
+// "Memory subsystem").
 #include "gnn/loss.h"
 
 #include <algorithm>
@@ -11,12 +14,23 @@ double softmax_cross_entropy(const Matrix& logits,
                              std::span<const std::uint32_t> rows,
                              std::span<const std::int32_t> labels,
                              double normalizer, Matrix& grad) {
+  std::vector<double> prob_scratch;
+  return softmax_cross_entropy(logits, rows, labels, normalizer, grad,
+                               prob_scratch);
+}
+
+double softmax_cross_entropy(const Matrix& logits,
+                             std::span<const std::uint32_t> rows,
+                             std::span<const std::int32_t> labels,
+                             double normalizer, Matrix& grad,
+                             std::vector<double>& prob_scratch) {
   ADAQP_CHECK(rows.size() == labels.size());
   ADAQP_CHECK(grad.same_shape(logits));
   ADAQP_CHECK(normalizer > 0.0);
   const std::size_t classes = logits.cols();
   double loss = 0.0;
-  std::vector<double> p(classes);
+  prob_scratch.resize(classes);  // lint:allow(hot-path-alloc) scratch capacity retained
+  std::vector<double>& p = prob_scratch;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto r = rows[i];
     ADAQP_CHECK(r < logits.rows());

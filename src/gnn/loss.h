@@ -25,6 +25,16 @@ double softmax_cross_entropy(const Matrix& logits,
                              std::span<const std::int32_t> labels,
                              double normalizer, Matrix& grad);
 
+/// Steady-state variant: per-row softmax probabilities live in the
+/// caller-provided `prob_scratch` (resized once to the class count), so
+/// repeated calls perform no heap allocation. Bit-identical to the overload
+/// above.
+double softmax_cross_entropy(const Matrix& logits,
+                             std::span<const std::uint32_t> rows,
+                             std::span<const std::int32_t> labels,
+                             double normalizer, Matrix& grad,
+                             std::vector<double>& prob_scratch);
+
 /// Sigmoid BCE-with-logits over listed rows against multi-hot targets
 /// (targets has one row per listed row, aligned by position).
 double bce_with_logits(const Matrix& logits,

@@ -1,3 +1,6 @@
+// lint:hot-path-file — steady-state epochs run through this TU; every
+// allocation below must be warmup/build-time only (docs/ARCHITECTURE.md,
+// "Memory subsystem").
 #include "gnn/model.h"
 
 #include "common/check.h"
@@ -17,7 +20,7 @@ GnnModel::GnnModel(const ModelConfig& config, Rng& rng) : config_(config) {
     lc.is_output = l == config.num_layers - 1;
     lc.layer_norm = config.layer_norm;
     lc.dropout = config.dropout;
-    layers_.emplace_back(lc);
+    layers_.emplace_back(lc);  // lint:allow(hot-path-alloc) ctor
     layers_.back().init_weights(rng);
   }
 }
@@ -25,7 +28,7 @@ GnnModel::GnnModel(const ModelConfig& config, Rng& rng) : config_(config) {
 std::vector<Param*> GnnModel::params() {
   std::vector<Param*> out;
   for (auto& layer : layers_)
-    for (Param* p : layer.params()) out.push_back(p);
+    for (Param* p : layer.params()) out.push_back(p);  // lint:allow(hot-path-alloc) setup; trainer caches result
   return out;
 }
 

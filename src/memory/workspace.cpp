@@ -1,0 +1,108 @@
+// lint:hot-path-file — steady-state epochs run through this TU; every
+// allocation below must be warmup/build-time only (docs/ARCHITECTURE.md,
+// "Memory subsystem").
+#include "memory/workspace.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace adaqp::memory {
+
+namespace {
+constexpr std::size_t kAlign = 64;
+
+std::size_t align_up(std::size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+}  // namespace
+
+Arena::Arena(std::size_t min_chunk_bytes)
+    : min_chunk_bytes_(align_up(std::max<std::size_t>(min_chunk_bytes, kAlign))) {}
+
+void* Arena::allocate(std::size_t bytes) {
+  bytes = align_up(bytes != 0 ? bytes : 1);
+  // First fit over the retained chunks starting at the active one; chunks
+  // are only appended, so a warm arena walks the same sequence every epoch.
+  // `used` counts from each chunk's 64-byte-aligned base (the buffer is
+  // over-allocated by kAlign), so used <= size always holds and every span
+  // is aligned because both the base and all span sizes are.
+  for (std::size_t i = active_; i < chunks_.size(); ++i) {
+    Chunk& c = chunks_[i];
+    if (c.size - c.used >= bytes) {
+      const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+      void* p = c.data.get() + (align_up(base) - base) + c.used;
+      c.used += bytes;
+      active_ = i;
+      return p;
+    }
+  }
+  Chunk fresh;
+  fresh.size = std::max(min_chunk_bytes_, bytes);
+  // 64-byte alignment: new[] gives alignof(max_align_t); over-allocate and
+  // round the base up instead of relying on aligned operator new (which the
+  // alloc tracker also replaces, but this keeps the arena self-contained).
+  fresh.data = std::make_unique<unsigned char[]>(fresh.size + kAlign);  // lint:allow(hot-path-alloc) chunk growth is warmup-only
+  chunks_.push_back(std::move(fresh));  // lint:allow(hot-path-alloc) chunk growth is warmup-only
+  active_ = chunks_.size() - 1;
+  Chunk& c = chunks_.back();
+  const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+  c.used = bytes;
+  return c.data.get() + (align_up(base) - base);
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+}
+
+std::size_t Arena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+std::size_t Arena::used_bytes() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.used;
+  return total;
+}
+
+std::uint64_t Workspace::key(Scratch kind, int layer, int a, int b) {
+  const auto k = static_cast<std::uint64_t>(kind);
+  const auto l = static_cast<std::uint64_t>(layer) & 0xffffu;
+  const auto ua = static_cast<std::uint64_t>(a) & 0xffffu;
+  const auto ub = static_cast<std::uint64_t>(b) & 0xffffu;
+  return (k << 48) | (l << 32) | (ua << 16) | ub;
+}
+
+Matrix& Workspace::matrix(Scratch kind, int layer, int a, int b) {
+  return matrices_[key(kind, layer, a, b)];
+}
+
+std::vector<float>& Workspace::floats(Scratch kind, int layer, int a, int b) {
+  return floats_[key(kind, layer, a, b)];
+}
+
+std::vector<double>& Workspace::doubles(Scratch kind, int layer, int a,
+                                        int b) {
+  return doubles_[key(kind, layer, a, b)];
+}
+
+std::vector<int>& Workspace::ints(Scratch kind, int layer, int a, int b) {
+  return ints_[key(kind, layer, a, b)];
+}
+
+std::vector<std::uint32_t>& Workspace::u32s(Scratch kind, int layer, int a,
+                                            int b) {
+  return u32s_[key(kind, layer, a, b)];
+}
+
+std::vector<std::uint8_t>& Workspace::bytes(Scratch kind, int layer, int a,
+                                            int b) {
+  return bytes_[key(kind, layer, a, b)];
+}
+
+std::size_t Workspace::pool_entries() const {
+  return matrices_.size() + floats_.size() + doubles_.size() + ints_.size() +
+         u32s_.size() + bytes_.size();
+}
+
+}  // namespace adaqp::memory

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "runtime/thread_pool.h"
+#include "simd/kernels.h"
 
 namespace adaqp::pipeline {
 
@@ -68,7 +69,7 @@ void add_rows(AccessList& out, const Matrix& m,
                            rows.data(), rows.size(), mode, label);
 }
 
-/// The stats/RNG slots every encode stage owns exclusively.
+/// The stats/RNG/staging slots every encode stage owns exclusively.
 void add_pair_slots(AccessList& out, ExchangeAccounting& acct, int d, int p,
                     const std::string& tag) {
   out.push_back(analysis::write_of(&acct.pair_bytes[d][p],
@@ -80,29 +81,82 @@ void add_pair_slots(AccessList& out, ExchangeAccounting& acct, int d, int p,
   out.push_back(analysis::write_of(&acct.pair_rngs[d][p],
                                    sizeof(acct.pair_rngs[d][p]),
                                    tag + ".rng"));
+  out.push_back(analysis::write_of(&acct.uniforms[d][p],
+                                   sizeof(acct.uniforms[d][p]),
+                                   tag + ".uniforms"));
 }
 
 }  // namespace
 
-void ExchangeAccounting::init(int n, std::vector<Rng>& device_rngs) {
+void ExchangeAccounting::init_storage(int n) {
+  if (static_cast<int>(pair_bytes.size()) == n) return;
+  // First init: size everything. Later inits rewrite in place, keeping
+  // every nested capacity (blocks, uniform buffers, decode staging) — the
+  // steady-state exchange allocates nothing.
   pair_bytes.assign(n, std::vector<std::size_t>(n, 0));
   fp_bytes.assign(n, std::vector<std::size_t>(n, 0));
   blocks.assign(n, std::vector<EncodedBlock>(n));
+  uniforms.assign(n, std::vector<std::vector<float>>(n));
+  pair_rngs.assign(n, std::vector<Rng>(n));
+  acc_decoded.resize(n);
+  acc_seq.resize(n);
+}
+
+void ExchangeAccounting::warm(const DistGraph& dist, const ExchangePlan& plan,
+                              bool forward, std::size_t cols) {
+  const int n = dist.num_devices();
+  init_storage(n);
+  for (int d = 0; d < n; ++d) {
+    const DeviceGraph& dev = dist.devices[d];
+    for (int p = 0; p < n; ++p) {
+      if (p == d) continue;
+      const auto& rows = forward ? dev.send_local[p] : dev.recv_local[p];
+      if (rows.empty()) continue;
+      blocks[d][p].bytes.reserve(
+          encoded_wire_bytes(rows.size(), cols, plan.bits[d][p]));
+      uniforms[d][p].reserve(cols);
+    }
+  }
+  if (!forward) {
+    // Backward owner staging: one decode buffer + identity row list sized
+    // for the owner's largest inbound message.
+    for (int p = 0; p < n; ++p) {
+      std::size_t max_rows = 0;
+      for (int d = 0; d < n; ++d) {
+        if (d == p) continue;
+        max_rows = std::max(max_rows, dist.devices[p].send_local[d].size());
+      }
+      if (max_rows == 0) continue;
+      acc_decoded[p].reshape_uninit(max_rows, cols);
+      if (acc_seq[p].size() < max_rows) {
+        const std::size_t old = acc_seq[p].size();
+        acc_seq[p].resize(max_rows);
+        for (std::size_t i = old; i < max_rows; ++i)
+          acc_seq[p][i] = static_cast<NodeId>(i);
+      }
+    }
+  }
+}
+
+void ExchangeAccounting::init(int n, std::vector<Rng>& device_rngs) {
+  if (static_cast<int>(pair_bytes.size()) != n) {
+    init_storage(n);
+  } else {
+    for (auto& row : pair_bytes) std::fill(row.begin(), row.end(), 0);
+    for (auto& row : fp_bytes) std::fill(row.begin(), row.end(), 0);
+    for (auto& row : blocks)
+      for (auto& b : row) b.bytes.clear();
+  }
   // Per-pair streams, derived serially: one next() per device stream (in
   // ascending device order), splitmixed with the peer index. Identical for
   // every schedule, and no stage ever touches the shared device streams.
-  pair_rngs.clear();
-  pair_rngs.reserve(n);
   for (int d = 0; d < n; ++d) {
     const std::uint64_t base = device_rngs[d].next();
-    std::vector<Rng> row;
-    row.reserve(n);
     for (int p = 0; p < n; ++p) {
       std::uint64_t mix =
           base ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(p + 1));
-      row.emplace_back(splitmix64(mix));
+      pair_rngs[d][p] = Rng(splitmix64(mix));
     }
-    pair_rngs.push_back(std::move(row));
   }
 }
 
@@ -136,6 +190,9 @@ PairStages add_forward_exchange_stages(StageGraph& graph,
         add_rows(acc, locals[p], dist.devices[p].recv_local[d], kWrite,
                  "x[d" + std::to_string(p) + "].halo_rows(d" +
                      std::to_string(d) + ")");
+        acc.push_back(analysis::write_of(&acct.blocks[d][p],
+                                         sizeof(acct.blocks[d][p]),
+                                         name + ".block"));
         add_pair_slots(acc, acct, d, p, name);
       }
       out.stage[d][p] = graph.add(
@@ -143,12 +200,16 @@ PairStages add_forward_exchange_stages(StageGraph& graph,
           [&dist, &locals, &plan, &acct, d, p] {
             const DeviceGraph& sender = dist.devices[d];
             const auto& bits = plan.bits[d][p];
-            const EncodedBlock block = encode_rows(
-                locals[d], sender.send_local[p], bits, acct.pair_rngs[d][p]);
-            acct.pair_bytes[d][p] = block.wire_bytes();
+            // Persistent per-pair staging: block bytes and uniform buffer
+            // keep their warmed-up capacity across rounds.
+            encode_rows_into(locals[d], sender.send_local[p], bits,
+                             acct.pair_rngs[d][p], acct.uniforms[d][p],
+                             acct.blocks[d][p]);
+            acct.pair_bytes[d][p] = acct.blocks[d][p].wire_bytes();
             acct.fp_bytes[d][p] =
                 quantized_fp_bytes(bits, locals[d].cols());
-            decode_rows(block, locals[p], dist.devices[p].recv_local[d]);
+            decode_rows(acct.blocks[d][p], locals[p],
+                        dist.devices[p].recv_local[d]);
           },
           {}, std::move(acc));
     }
@@ -201,8 +262,9 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
           [&dist, &grads, &plan, &acct, d, p] {
             const DeviceGraph& sender = dist.devices[d];
             const auto& bits = plan.bits[d][p];
-            acct.blocks[d][p] = encode_rows(
-                grads[d], sender.recv_local[p], bits, acct.pair_rngs[d][p]);
+            encode_rows_into(grads[d], sender.recv_local[p], bits,
+                             acct.pair_rngs[d][p], acct.uniforms[d][p],
+                             acct.blocks[d][p]);
             acct.pair_bytes[d][p] = acct.blocks[d][p].wire_bytes();
             acct.fp_bytes[d][p] =
                 quantized_fp_bytes(bits, grads[d].cols());
@@ -238,18 +300,27 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
     out.owner_stage[p] = graph.add(
         name,
         [&dist, &grads, &acct, p, n] {
+          // Persistent per-owner staging (capacity kept across rounds); the
+          // fold runs through the kernel table's elementwise add.
+          Matrix& decoded = acct.acc_decoded[p];
+          std::vector<NodeId>& seq = acct.acc_seq[p];
+          const auto& kt = simd::kernels();
           for (int d = 0; d < n; ++d) {
             if (d == p || acct.blocks[d][p].bytes.empty()) continue;
             const auto& owner_rows = dist.devices[p].send_local[d];
-            Matrix decoded(owner_rows.size(), grads[p].cols());
-            std::vector<NodeId> seq(owner_rows.size());
-            for (std::size_t i = 0; i < seq.size(); ++i)
-              seq[i] = static_cast<NodeId>(i);
-            decode_rows(acct.blocks[d][p], decoded, seq);
+            decoded.reshape_uninit(owner_rows.size(), grads[p].cols());
+            if (seq.size() < owner_rows.size()) {
+              const std::size_t old = seq.size();
+              seq.resize(owner_rows.size());
+              for (std::size_t i = old; i < seq.size(); ++i)
+                seq[i] = static_cast<NodeId>(i);
+            }
+            decode_rows(acct.blocks[d][p], decoded,
+                        {seq.data(), owner_rows.size()});
             for (std::size_t i = 0; i < owner_rows.size(); ++i) {
               auto dst = grads[p].row(owner_rows[i]);
-              const auto src = decoded.row(i);
-              for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
+              kt.ef_fold(dst.data(), decoded.row(i).data(), dst.data(),
+                         dst.size());
             }
           }
         },
@@ -290,11 +361,22 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
 ExchangeStats finalize_exchange_stats(const ExchangeAccounting& acct,
                                       const DistGraph& dist,
                                       const ClusterSpec& cluster) {
-  const int n = dist.num_devices();
   ExchangeStats stats;
+  finalize_exchange_stats_into(acct, dist, cluster, stats);
+  return stats;
+}
+
+void finalize_exchange_stats_into(const ExchangeAccounting& acct,
+                                  const DistGraph& dist,
+                                  const ClusterSpec& cluster,
+                                  ExchangeStats& stats) {
+  const int n = dist.num_devices();
+  // Same-shaped copy-assigns reuse the destination's capacity, so repeated
+  // finalizes into the same stats object allocate nothing.
   stats.pair_bytes = acct.pair_bytes;
   stats.quant_seconds.assign(n, 0.0);
   stats.dequant_seconds.assign(n, 0.0);
+  stats.comm_seconds = 0.0;
   // Kernel times fold in fixed (d, p) order so the receiver-indexed dequant
   // accumulation is schedule-independent.
   for (int d = 0; d < n; ++d)
@@ -307,7 +389,6 @@ ExchangeStats finalize_exchange_stats(const ExchangeAccounting& acct,
   if (n > 1)
     stats.comm_seconds =
         RingAllToAll(n).total_seconds(cluster, stats.pair_bytes);
-  return stats;
 }
 
 AsyncExchange::AsyncExchange(const DistGraph& dist, const ClusterSpec& cluster)
@@ -328,26 +409,80 @@ AsyncExchange::~AsyncExchange() {
 void AsyncExchange::submit_forward(std::vector<Matrix>& locals,
                                    const ExchangePlan& plan,
                                    std::vector<Rng>& rngs, bool async) {
-  ADAQP_CHECK_MSG(!submitted_, "AsyncExchange reused; create a new instance");
+  ADAQP_CHECK_MSG(!submitted_ || finished_,
+                  "AsyncExchange::submit while a round is in flight");
   ADAQP_CHECK(static_cast<int>(rngs.size()) == dist_.num_devices());
-  submitted_ = true;
-  async_ = async;
-  graph_.set_label("halo-exchange/forward");
   acct_.init(dist_.num_devices(), rngs);
-  stages_ = add_forward_exchange_stages(graph_, dist_, locals, plan, acct_);
-  if (async_) graph_.launch();
+  if (built_kind_ == Kind::kNone) {
+    graph_.set_label("halo-exchange/forward");
+    stages_ = add_forward_exchange_stages(graph_, dist_, locals, plan, acct_);
+  }
+  resubmit(Kind::kForward, &locals, &plan, async);
 }
 
 void AsyncExchange::submit_backward(std::vector<Matrix>& grads,
                                     const ExchangePlan& plan,
                                     std::vector<Rng>& rngs, bool async) {
-  ADAQP_CHECK_MSG(!submitted_, "AsyncExchange reused; create a new instance");
+  ADAQP_CHECK_MSG(!submitted_ || finished_,
+                  "AsyncExchange::submit while a round is in flight");
   ADAQP_CHECK(static_cast<int>(rngs.size()) == dist_.num_devices());
-  submitted_ = true;
-  async_ = async;
-  graph_.set_label("halo-exchange/backward");
   acct_.init(dist_.num_devices(), rngs);
+  if (built_kind_ == Kind::kNone) {
+    graph_.set_label("halo-exchange/backward");
+    stages_ = add_backward_exchange_stages(graph_, dist_, grads, plan, acct_);
+  }
+  resubmit(Kind::kBackward, &grads, &plan, async);
+}
+
+void AsyncExchange::prepare_forward(std::vector<Matrix>& locals,
+                                    const ExchangePlan& plan) {
+  ADAQP_CHECK_MSG(built_kind_ == Kind::kNone && !submitted_,
+                  "AsyncExchange::prepare after a build/submit");
+  acct_.init_storage(dist_.num_devices());
+  acct_.warm(dist_, plan, /*forward=*/true,
+             locals.empty() ? 0 : locals[0].cols());
+  graph_.set_label("halo-exchange/forward");
+  stages_ = add_forward_exchange_stages(graph_, dist_, locals, plan, acct_);
+  graph_.prewarm();  // the first run may land inside a steady-state epoch
+  built_kind_ = Kind::kForward;
+  bound_data_ = &locals;
+  bound_plan_ = &plan;
+}
+
+void AsyncExchange::prepare_backward(std::vector<Matrix>& grads,
+                                     const ExchangePlan& plan) {
+  ADAQP_CHECK_MSG(built_kind_ == Kind::kNone && !submitted_,
+                  "AsyncExchange::prepare after a build/submit");
+  acct_.init_storage(dist_.num_devices());
+  acct_.warm(dist_, plan, /*forward=*/false,
+             grads.empty() ? 0 : grads[0].cols());
+  graph_.set_label("halo-exchange/backward");
   stages_ = add_backward_exchange_stages(graph_, dist_, grads, plan, acct_);
+  graph_.prewarm();  // the first run may land inside a steady-state epoch
+  built_kind_ = Kind::kBackward;
+  bound_data_ = &grads;
+  bound_plan_ = &plan;
+}
+
+void AsyncExchange::resubmit(Kind kind, const void* data,
+                             const ExchangePlan* plan, bool async) {
+  if (built_kind_ == Kind::kNone) {
+    built_kind_ = kind;
+    bound_data_ = data;
+    bound_plan_ = plan;
+  } else {
+    // The stage lambdas captured the first submit's matrices and plan by
+    // reference; a re-submit re-runs them, so it must bind the exact same
+    // objects (direction included).
+    ADAQP_CHECK_MSG(built_kind_ == kind && bound_data_ == data &&
+                        bound_plan_ == plan,
+                    "AsyncExchange re-submit must reuse the direction, "
+                    "matrices and plan of the first submit");
+    graph_.reset();
+  }
+  submitted_ = true;
+  finished_ = false;
+  async_ = async;
   if (async_) graph_.launch();
 }
 
@@ -360,6 +495,12 @@ Event* AsyncExchange::pair_done(int d, int p) {
 }
 
 ExchangeStats AsyncExchange::wait() {
+  ExchangeStats stats;
+  wait_into(stats);
+  return stats;
+}
+
+void AsyncExchange::wait_into(ExchangeStats& stats) {
   ADAQP_CHECK_MSG(submitted_ && !finished_,
                   "AsyncExchange::wait without a pending submit");
   finished_ = true;
@@ -367,7 +508,7 @@ ExchangeStats AsyncExchange::wait() {
     graph_.wait();
   else
     graph_.run_serial();
-  return finalize_exchange_stats(acct_, dist_, cluster_);
+  finalize_exchange_stats_into(acct_, dist_, cluster_, stats);
 }
 
 }  // namespace adaqp::pipeline

@@ -47,13 +47,37 @@ struct PairStages {
 /// Storage the exchange stages write into; owned by the caller and must
 /// outlive the graph execution. All slots are indexed [sender][receiver]
 /// and written by exactly one stage, so no synchronization is needed.
+/// Re-init()s rewrite every slot in place (capacities kept), so a
+/// steady-state exchange performs no heap allocation after its first round.
 struct ExchangeAccounting {
   std::vector<std::vector<std::size_t>> pair_bytes;
   std::vector<std::vector<std::size_t>> fp_bytes;
   std::vector<std::vector<Rng>> pair_rngs;
-  std::vector<std::vector<EncodedBlock>> blocks;  ///< backward staging
+  std::vector<std::vector<EncodedBlock>> blocks;  ///< per-pair wire staging
+  /// Per-pair stochastic-rounding draw buffers (see encode_rows_into).
+  std::vector<std::vector<std::vector<float>>> uniforms;
+  /// Per-owner backward-accumulate staging: decoded rows + identity seq.
+  std::vector<Matrix> acc_decoded;
+  std::vector<std::vector<NodeId>> acc_seq;
 
   void init(int n, std::vector<Rng>& device_rngs);
+
+  /// Size the [sender][receiver] slot tables without deriving RNG streams
+  /// (init() does both). Idempotent; lets a graph be *built* against this
+  /// accounting before any round is submitted — PipeGCN's deferred forward
+  /// exchanges are prepared this way at trainer construction so their first
+  /// submit (epoch 1, already steady state) allocates nothing.
+  void init_storage(int n);
+
+  /// Pre-reserve every per-pair staging buffer for the message shapes the
+  /// (dist, plan) pair implies — wire blocks at the plan's current widths
+  /// (call while the plan is still the maximal uniform-32 warmup plan),
+  /// stochastic-rounding buffers at one row width, backward decode staging
+  /// at each owner's largest inbound message. After warm(), the first
+  /// *execution* of the exchange stages is already allocation-free, even if
+  /// it is deferred into a steady-state epoch.
+  void warm(const DistGraph& dist, const ExchangePlan& plan, bool forward,
+            std::size_t cols);
 };
 
 /// Add one stage per forward message (encode sender rows, decode into the
@@ -100,17 +124,29 @@ ExchangeStats finalize_exchange_stats(const ExchangeAccounting& acct,
                                       const DistGraph& dist,
                                       const ClusterSpec& cluster);
 
+/// In-place form: rewrites `stats` reusing its capacity (no allocation once
+/// the shapes have stabilized).
+void finalize_exchange_stats_into(const ExchangeAccounting& acct,
+                                  const DistGraph& dist,
+                                  const ClusterSpec& cluster,
+                                  ExchangeStats& stats);
+
 /// The submit()/wait() halves of one halo exchange, for callers that want
 /// the exchange in flight while they do other work.
 ///
-/// Lifecycle (single-use): construct → submit_forward() or
-/// submit_backward() exactly once → wait() exactly once → destroy; a
-/// second submit on the same instance throws. The matrices, plan and
-/// DistGraph passed to submit are captured by reference and must stay
-/// alive — and their exchanged rows untouched by anyone else — until
-/// wait() returns. The destructor joins a still-launched exchange
-/// defensively (swallowing stage errors), so an in-flight exchange can be
-/// dropped safely, but only wait() returns its ExchangeStats.
+/// Lifecycle (multi-shot): construct → submit → wait → submit → wait → …;
+/// a submit while a round is still in flight throws. The first submit
+/// builds the stage graph, capturing the matrices and plan by reference;
+/// every later submit must pass the *same* objects (same direction, same
+/// addresses — the trainer keeps one instance per layer/direction with
+/// stable buffers) and merely re-derives the per-pair RNG streams in place,
+/// re-arms the graph and relaunches it, performing no heap allocation —
+/// the steady-state contract (docs/ARCHITECTURE.md). The referenced
+/// matrices and plan must stay alive — and their exchanged rows untouched
+/// by anyone else — while a round is in flight. The destructor joins a
+/// still-launched exchange defensively (swallowing stage errors), so an
+/// in-flight exchange can be dropped safely, but only wait() returns its
+/// ExchangeStats.
 ///
 /// The join may happen arbitrarily later than the submit: DistTrainer
 /// keeps one AsyncExchange per layer in flight *across iteration
@@ -135,6 +171,17 @@ class AsyncExchange {
   void submit_backward(std::vector<Matrix>& grads, const ExchangePlan& plan,
                        std::vector<Rng>& rngs, bool async);
 
+  /// Build (but do not run) the stage graph and warm every staging buffer,
+  /// binding the matrices and plan exactly as the first submit would —
+  /// without consuming any RNG draws or launching anything. A later
+  /// submit_forward/submit_backward with the same objects then re-inits the
+  /// accounting in place and relaunches, allocation-free: this is how the
+  /// trainer makes an exchange whose first round happens *after* warmup
+  /// (PipeGCN's deferred forward pipeline) satisfy the steady-state
+  /// contract. Call at most once, before any submit.
+  void prepare_forward(std::vector<Matrix>& locals, const ExchangePlan& plan);
+  void prepare_backward(std::vector<Matrix>& grads, const ExchangePlan& plan);
+
   /// Completion handle of the d -> p message (nullptr when the pair
   /// exchanges nothing). Forward: set once the receiver's halo rows are
   /// decoded. Backward: set once the message is encoded.
@@ -143,12 +190,26 @@ class AsyncExchange {
   /// Join the exchange and return its stats. Call exactly once per submit.
   ExchangeStats wait();
 
+  /// wait() into caller-owned stats storage (capacity reused — the
+  /// steady-state form).
+  void wait_into(ExchangeStats& stats);
+
  private:
+  enum class Kind { kNone, kForward, kBackward };
+
+  /// Shared re-submit path: bind-check against the first submit (or record
+  /// the binding), re-arm the graph, relaunch when async.
+  void resubmit(Kind kind, const void* data, const ExchangePlan* plan,
+                bool async);
+
   const DistGraph& dist_;
   const ClusterSpec& cluster_;
   StageGraph graph_;
   ExchangeAccounting acct_;
   PairStages stages_;
+  Kind built_kind_ = Kind::kNone;
+  const void* bound_data_ = nullptr;
+  const ExchangePlan* bound_plan_ = nullptr;
   bool submitted_ = false;
   bool async_ = false;
   bool finished_ = false;

@@ -1,3 +1,6 @@
+// lint:hot-path-file — steady-state epochs run through this TU; every
+// allocation below must be warmup/build-time only (docs/ARCHITECTURE.md,
+// "Memory subsystem").
 #include "pipeline/stage_graph.h"
 
 #include <chrono>
@@ -27,6 +30,11 @@ bool Event::done() const {
   return done_;
 }
 
+void Event::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  done_ = false;
+}
+
 void Event::wait() {
   ThreadPool& pool = global_pool();
   for (;;) {
@@ -51,7 +59,7 @@ int StageGraph::add(std::string name, StageFn fn, const std::vector<int>& deps,
                     analysis::AccessList accesses) {
   ADAQP_CHECK_MSG(!launched_, "StageGraph::add after launch");
   const int id = static_cast<int>(nodes_.size());
-  nodes_.emplace_back();
+  nodes_.emplace_back();  // lint:allow(hot-path-alloc) graph build
   Node& node = nodes_.back();
   node.name = std::move(name);
   node.fn = std::move(fn);
@@ -61,7 +69,7 @@ int StageGraph::add(std::string name, StageFn fn, const std::vector<int>& deps,
     ADAQP_CHECK_MSG(dep >= 0 && dep < id,
                     "stage \"" << node.name << "\" dependency " << dep
                                << " must reference an earlier stage");
-    nodes_[dep].dependents.push_back(id);
+    nodes_[dep].dependents.push_back(id);  // lint:allow(hot-path-alloc) graph build
     ++node.pending;
   }
   node.deps = deps;
@@ -71,9 +79,9 @@ int StageGraph::add(std::string name, StageFn fn, const std::vector<int>& deps,
 void StageGraph::maybe_racecheck() const {
   if (!analysis::racecheck_enabled()) return;
   std::vector<analysis::StageAccessRecord> records;
-  records.reserve(nodes_.size());
+  records.reserve(nodes_.size());  // lint:allow(hot-path-alloc) racecheck mode only
   for (const Node& node : nodes_)
-    records.push_back({node.name, node.deps, node.accesses});
+    records.push_back({node.name, node.deps, node.accesses});  // lint:allow(hot-path-alloc) racecheck mode only
   // Records to the process-wide registry and throws on violations — before
   // any stage has run, so a declared race never executes under the checker.
   analysis::record_and_enforce(
@@ -109,24 +117,31 @@ void StageGraph::run_stage(std::size_t id) {
 void StageGraph::finish_stage(std::size_t id) {
   Node& node = nodes_[id];
   node.done.set();
-  std::vector<int> ready;
+  // Per-node staging: only this node's (single, per run) finisher touches
+  // it, and its capacity persists across reset() — no per-stage allocation.
+  std::vector<int>& ready = node.ready_scratch;
+  ready.clear();
   bool all_finished = false;
   bool async = false;
+  bool have_ready = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (int dep : node.dependents) {
-      if (--nodes_[dep].pending == 0) ready.push_back(dep);
+      if (--nodes_[dep].pending == 0) ready.push_back(dep);  // lint:allow(hot-path-alloc) prewarm()ed capacity
     }
     all_finished = --remaining_ == 0;
     // Snapshot under the lock: once we release mu_ without being the final
     // finisher, a concurrent finish_stage can complete the graph and the
-    // owner may destroy it — from here on `this` is only touched if
-    // all_finished (we gate all_done_, so the owner can't be done waiting)
-    // or if ready is non-empty (those stages are counted in remaining_ and
-    // cannot finish before we submit them, so the graph stays alive).
+    // owner may destroy it — from here on `this` (including `ready`, which
+    // lives in the node) is only touched if all_finished (we gate
+    // all_done_, so the owner can't be done waiting) or if ready is
+    // non-empty (those stages are counted in remaining_ and cannot finish
+    // before we submit them, so the graph stays alive). have_ready must
+    // therefore be taken here, not read from the member afterwards.
     async = async_mode_;
+    have_ready = !ready.empty();
   }
-  if (async) {
+  if (async && have_ready) {
     ThreadPool& pool = global_pool();
     for (int id_ready : ready)
       pool.submit([this, id_ready] {
@@ -138,9 +153,36 @@ void StageGraph::finish_stage(std::size_t id) {
   if (all_finished) all_done_.set();
 }
 
+void StageGraph::reset() {
+  ADAQP_CHECK_MSG(!launched_ || all_done_.done(),
+                  "StageGraph::reset while a run is in flight");
+  for (Node& node : nodes_) {
+    node.pending = static_cast<int>(node.deps.size());
+    node.done.reset();
+  }
+  error_ = nullptr;
+  remaining_ = 0;
+  all_done_.reset();
+  launched_ = false;
+  async_mode_ = false;
+}
+
+void StageGraph::prewarm() {
+  // Reserve every schedule-dependent scratch vector up front. Which node's
+  // ready_scratch collects a dependent depends on finish order, so without
+  // this the capacity warms up lazily over *different* nodes on different
+  // runs — a nondeterministic allocation leak into warm epochs (and stages
+  // of a deferred graph may first execute inside a later epoch entirely).
+  if (prewarmed_) return;
+  prewarmed_ = true;
+  source_scratch_.reserve(nodes_.size());  // lint:allow(hot-path-alloc) prewarm, one-time
+  for (Node& node : nodes_) node.ready_scratch.reserve(node.dependents.size());  // lint:allow(hot-path-alloc) prewarm, one-time
+}
+
 void StageGraph::launch() {
-  ADAQP_CHECK_MSG(!launched_, "StageGraph launched twice");
+  ADAQP_CHECK_MSG(!launched_, "StageGraph launched twice (reset() to re-run)");
   maybe_racecheck();
+  prewarm();
   launched_ = true;
   async_mode_ = true;
   remaining_ = nodes_.size();
@@ -150,10 +192,12 @@ void StageGraph::launch() {
   }
   // Collect sources first: a source finishing mid-iteration may submit
   // dependents concurrently, which is fine — only pending==0 transitions
-  // enqueue, so no stage can be submitted twice.
-  std::vector<std::size_t> sources;
+  // enqueue, so no stage can be submitted twice. The staging vector is a
+  // member so re-launches after reset() reuse its capacity.
+  std::vector<std::size_t>& sources = source_scratch_;
+  sources.clear();
   for (std::size_t id = 0; id < nodes_.size(); ++id)
-    if (nodes_[id].pending == 0) sources.push_back(id);
+    if (nodes_[id].pending == 0) sources.push_back(id);  // lint:allow(hot-path-alloc) prewarm()ed capacity
   ThreadPool& pool = global_pool();
   for (std::size_t id : sources)
     pool.submit([this, id] { run_stage(id); });
@@ -173,6 +217,7 @@ void StageGraph::wait() {
 void StageGraph::run_serial() {
   ADAQP_CHECK_MSG(!launched_, "StageGraph::run_serial after launch");
   maybe_racecheck();
+  prewarm();
   launched_ = true;
   async_mode_ = false;
   remaining_ = nodes_.size();

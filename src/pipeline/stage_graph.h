@@ -23,18 +23,24 @@
 // yields a Chrome trace where overlap between exchange and compute stages
 // is directly visible.
 //
-// Lifecycle (single-shot):
+// Lifecycle (build once, run many):
 //   1. add() every stage; dependency ids must point at already-added
 //      stages, which keeps the graph acyclic by construction.
 //   2. Either launch() once and then wait() exactly once (async), or
 //      run_serial() once (the reference schedule) — the run(async) helper
-//      picks between the two. A graph cannot be re-run; build a new one.
+//      picks between the two.
 //   3. Stage closures may outlive launch() until wait() returns: every
 //      buffer they capture by reference must stay alive and untouched (by
 //      anyone else) for that whole window. This is what lets a graph stay
 //      in flight across an iteration boundary (PipeGCN's deferred
 //      exchanges) as long as the owner joins before the buffers are reused.
-//   4. wait() rethrows the first stage exception; dependents of a failed
+//   4. After a run has fully finished, reset() re-arms the graph for
+//      another run with the same stages — the steady-state path: the
+//      trainer builds each per-layer graph once (warmup) and re-runs it
+//      every epoch with zero heap allocation. Stage closures must therefore
+//      read their per-epoch inputs through stable references (members,
+//      pooled scratch), never captured copies of per-epoch values.
+//   5. wait() rethrows the first stage exception; dependents of a failed
 //      stage are poisoned (never run). The destructor does NOT join — the
 //      owner must wait() a launched graph before destroying it (see
 //      AsyncExchange for an owner that joins defensively).
@@ -52,14 +58,19 @@
 
 namespace adaqp::pipeline {
 
-/// One-shot completion handle. set() is sticky; wait() helps the thread
-/// pool drain detached stages while unfulfilled, so waiting on an event
-/// from the submitting thread can never deadlock the scheduler.
+/// One-shot completion handle (re-armable via reset()). set() is sticky;
+/// wait() helps the thread pool drain detached stages while unfulfilled, so
+/// waiting on an event from the submitting thread can never deadlock the
+/// scheduler.
 class Event {
  public:
   void set();
   bool done() const;
   void wait();
+  /// Re-arm a fulfilled event. The caller must guarantee no thread is
+  /// concurrently waiting on or setting it (StageGraph::reset()'s
+  /// quiescence requirement).
+  void reset();
 
  private:
   mutable std::mutex mu_;
@@ -100,7 +111,7 @@ class StageGraph {
   Event& stage_done(int id);
 
   /// Submit all ready stages to the pool and return immediately. Call at
-  /// most once per graph; follow with wait().
+  /// most once per armed graph; follow with wait().
   void launch();
 
   /// Block until every stage has finished (helping to run queued stages),
@@ -115,15 +126,33 @@ class StageGraph {
   /// launch() + wait() when `async`, else run_serial().
   void run(bool async);
 
+  /// Re-arm a fully finished graph for another run with the same stages.
+  /// Requires the previous run to have completed (wait() returned /
+  /// run_serial() done). Allocation-free: pending counts, events and the
+  /// error slot are rewound in place. add() stays usable only before the
+  /// first launch.
+  void reset();
+
+  /// True once launch()/run_serial() has been called on the current arming.
+  bool launched() const { return launched_; }
+
+  /// One-time reservation of all schedule-dependent scratch (source staging,
+  /// per-node ready lists). Runs automatically on the first launch() /
+  /// run_serial(); owners that defer the first run into a later epoch
+  /// (AsyncExchange::prepare_*) call it at build time so the deferred run is
+  /// allocation-free.
+  void prewarm();
+
  private:
   struct Node {
     std::string name;
     StageFn fn;
-    std::vector<int> deps;  ///< kept for the race checker
+    std::vector<int> deps;  ///< kept for the race checker + reset()
     std::vector<int> dependents;
     analysis::AccessList accesses;
     int pending = 0;  ///< unfinished dependencies; guarded by mu_
     Event done;
+    std::vector<int> ready_scratch;  ///< finish_stage staging; this node only
   };
 
   void run_stage(std::size_t id);
@@ -140,6 +169,8 @@ class StageGraph {
   std::exception_ptr error_;
   Event all_done_;
   std::string label_ = "stage-graph";
+  std::vector<std::size_t> source_scratch_;  ///< launch() staging
+  bool prewarmed_ = false;
   bool launched_ = false;
   bool async_mode_ = false;
 };

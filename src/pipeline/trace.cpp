@@ -114,8 +114,8 @@ bool TraceRecorder::write_json(const std::string& path) const {
   return ok;
 }
 
-TraceSpan::TraceSpan(std::string name, std::string category)
-    : name_(std::move(name)), category_(std::move(category)) {
+TraceSpan::TraceSpan(const std::string& name, const char* category)
+    : name_(&name), category_(category) {
   TraceRecorder& rec = TraceRecorder::instance();
   if (rec.enabled()) {
     active_ = true;
@@ -127,7 +127,7 @@ TraceSpan::~TraceSpan() {
   if (!active_) return;
   TraceRecorder& rec = TraceRecorder::instance();
   const double end_us = rec.now_us();
-  rec.record(name_, category_, begin_us_, end_us - begin_us_);
+  rec.record(*name_, category_, begin_us_, end_us - begin_us_);
 }
 
 }  // namespace adaqp::pipeline

@@ -65,17 +65,20 @@ class TraceRecorder {
 };
 
 /// RAII span: stamps begin at construction, records on destruction when the
-/// recorder is enabled.
+/// recorder is enabled. The span borrows `name` (it must outlive the span —
+/// stage names are stable Node members) and copies nothing while the
+/// recorder is disabled, so a disabled span is allocation-free: part of the
+/// steady-state contract (docs/ARCHITECTURE.md).
 class TraceSpan {
  public:
-  TraceSpan(std::string name, std::string category);
+  TraceSpan(const std::string& name, const char* category);
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
-  std::string name_;
-  std::string category_;
+  const std::string* name_;
+  const char* category_;
   double begin_us_ = 0.0;
   bool active_ = false;
 };

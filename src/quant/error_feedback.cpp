@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "quant/quantize.h"
+#include "simd/kernels.h"
 
 namespace adaqp {
 
@@ -28,6 +29,17 @@ void ErrorFeedbackState::reset() {
 EncodedBlock encode_rows_compensated(const Matrix& src, const DeviceGraph& dev,
                                      int peer, std::span<const int> bits,
                                      ErrorFeedbackState& state, Rng& rng) {
+  EncodedBlock block;
+  EfScratch scratch;
+  encode_rows_compensated_into(src, dev, peer, bits, state, rng, scratch,
+                               block);
+  return block;
+}
+
+void encode_rows_compensated_into(const Matrix& src, const DeviceGraph& dev,
+                                  int peer, std::span<const int> bits,
+                                  ErrorFeedbackState& state, Rng& rng,
+                                  EfScratch& scratch, EncodedBlock& out) {
   const auto& rows = dev.send_local[peer];
   ADAQP_CHECK_MSG(bits.size() == rows.size(),
                   "bits arity " << bits.size() << " != sends " << rows.size());
@@ -35,31 +47,30 @@ EncodedBlock encode_rows_compensated(const Matrix& src, const DeviceGraph& dev,
                   "error-feedback state not sized for this matrix");
   Matrix& residual = state.residual_for_peer(peer);
   ADAQP_CHECK(residual.rows() == rows.size());
+  const std::size_t dim = src.cols();
+  const auto& kt = simd::kernels();
 
   // Compensated message: m_i = value_i + residual_i, quantized; the new
   // residual is m_i - dequant(q(m_i)).
-  Matrix compensated(rows.size(), src.cols());
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto value = src.row(rows[i]);
-    const auto res = residual.row(i);
-    auto dst = compensated.row(i);
-    for (std::size_t c = 0; c < src.cols(); ++c) dst[c] = value[c] + res[c];
+  scratch.compensated.reshape_uninit(rows.size(), dim);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    kt.ef_fold(src.row(rows[i]).data(), residual.row(i).data(),
+               scratch.compensated.row(i).data(), dim);
+  if (scratch.seq.size() != rows.size()) {
+    scratch.seq.resize(rows.size());
+    for (std::size_t i = 0; i < scratch.seq.size(); ++i)
+      scratch.seq[i] = static_cast<NodeId>(i);
   }
-  std::vector<NodeId> seq(rows.size());
-  for (std::size_t i = 0; i < seq.size(); ++i)
-    seq[i] = static_cast<NodeId>(i);
-  EncodedBlock block = encode_rows(compensated, seq, bits, rng);
+  encode_rows_into(scratch.compensated, scratch.seq, bits, rng,
+                   scratch.uniforms, out);
 
   // Recover what the receiver will decode, and bank the difference.
-  Matrix decoded(rows.size(), src.cols());
-  decode_rows(block, decoded, seq);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto sent = compensated.row(i);
-    const auto got = decoded.row(i);
-    auto res = residual.row(i);
-    for (std::size_t c = 0; c < src.cols(); ++c) res[c] = sent[c] - got[c];
-  }
-  return block;
+  scratch.decoded.reshape_uninit(rows.size(), dim);
+  decode_rows(out, scratch.decoded, scratch.seq);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    kt.ef_residual(scratch.compensated.row(i).data(),
+                   scratch.decoded.row(i).data(), residual.row(i).data(),
+                   dim);
 }
 
 }  // namespace adaqp

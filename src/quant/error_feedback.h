@@ -53,4 +53,24 @@ EncodedBlock encode_rows_compensated(const Matrix& src, const DeviceGraph& dev,
                                      int peer, std::span<const int> bits,
                                      ErrorFeedbackState& state, Rng& rng);
 
+/// Per-(device, peer) temporaries of one compensated encode. Persist across
+/// epochs: every member is reshaped/grown in place, so after the first epoch
+/// compensated encodes perform no heap allocation (the steady-state
+/// contract, docs/ARCHITECTURE.md).
+struct EfScratch {
+  Matrix compensated;               ///< value + residual staging
+  Matrix decoded;                   ///< receiver-view dequant staging
+  std::vector<NodeId> seq;          ///< identity row list 0..n-1
+  std::vector<float> uniforms;      ///< stochastic-rounding draws
+};
+
+/// Steady-state form of encode_rows_compensated: block built in place into
+/// `out` (capacity reused), temporaries in `scratch`. The compensate add and
+/// residual subtract run through the SIMD kernel table (ef_fold /
+/// ef_residual), bit-identical to the plain form across ISAs.
+void encode_rows_compensated_into(const Matrix& src, const DeviceGraph& dev,
+                                  int peer, std::span<const int> bits,
+                                  ErrorFeedbackState& state, Rng& rng,
+                                  EfScratch& scratch, EncodedBlock& out);
+
 }  // namespace adaqp

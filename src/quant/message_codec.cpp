@@ -1,3 +1,6 @@
+// lint:hot-path-file — steady-state epochs run through this TU; every
+// allocation below must be warmup/build-time only (docs/ARCHITECTURE.md,
+// "Memory subsystem").
 #include "quant/message_codec.h"
 
 #include <cstring>
@@ -13,7 +16,7 @@ constexpr std::uint32_t kMagic = 0xADA9B10Cu;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   const std::size_t at = out.size();
-  out.resize(at + 4);
+  out.resize(at + 4);  // lint:allow(hot-path-alloc) pooled buffer, capacity retained
   std::memcpy(out.data() + at, &v, 4);
 }
 
@@ -37,30 +40,37 @@ float get_f32(std::span<const std::uint8_t> bytes, std::size_t& pos) {
 
 EncodedBlock encode_rows(const Matrix& src, std::span<const NodeId> rows,
                          std::span<const int> bits, Rng& rng) {
+  EncodedBlock block;
+  std::vector<float> uniform_scratch;
+  encode_rows_into(src, rows, bits, rng, uniform_scratch, block);
+  return block;
+}
+
+void encode_rows_into(const Matrix& src, std::span<const NodeId> rows,
+                      std::span<const int> bits, Rng& rng,
+                      std::vector<float>& uniform_scratch, EncodedBlock& out) {
   ADAQP_CHECK_MSG(rows.size() == bits.size(),
                   "rows/bits arity mismatch: " << rows.size() << " vs "
                                                << bits.size());
-  EncodedBlock block;
-  block.bytes.reserve(encoded_wire_bytes(rows.size(), src.cols(), bits));
-  put_u32(block.bytes, kMagic);
-  put_u32(block.bytes, static_cast<std::uint32_t>(rows.size()));
-  put_u32(block.bytes, static_cast<std::uint32_t>(src.cols()));
+  out.bytes.clear();  // keeps capacity — steady-state encodes don't allocate
+  out.bytes.reserve(encoded_wire_bytes(rows.size(), src.cols(), bits));  // lint:allow(hot-path-alloc) warmup sizing; no-op when warm
+  put_u32(out.bytes, kMagic);
+  put_u32(out.bytes, static_cast<std::uint32_t>(rows.size()));
+  put_u32(out.bytes, static_cast<std::uint32_t>(src.cols()));
   for (std::size_t i = 0; i < rows.size(); ++i) {
     ADAQP_CHECK_MSG(rows[i] < src.rows(),
                     "row " << rows[i] << " out of range " << src.rows());
-    block.bytes.push_back(static_cast<std::uint8_t>(bits[i]));
+    out.bytes.push_back(static_cast<std::uint8_t>(bits[i]));  // lint:allow(hot-path-alloc) pooled buffer, capacity retained
     // Reserve the (zero-point, scale) slots, quantize+pack straight into
     // the block (no QuantizedVector temporary), then backfill the metadata.
-    const std::size_t meta_at = block.bytes.size();
-    block.bytes.resize(meta_at + 2 * sizeof(float));
-    const QuantMeta meta =
-        quantize_append(src.row(rows[i]), bits[i], rng, block.bytes);
-    std::memcpy(block.bytes.data() + meta_at, &meta.zero_point,
-                sizeof(float));
-    std::memcpy(block.bytes.data() + meta_at + sizeof(float), &meta.scale,
+    const std::size_t meta_at = out.bytes.size();
+    out.bytes.resize(meta_at + 2 * sizeof(float));  // lint:allow(hot-path-alloc) pooled buffer, capacity retained
+    const QuantMeta meta = quantize_append(src.row(rows[i]), bits[i], rng,
+                                           out.bytes, uniform_scratch);
+    std::memcpy(out.bytes.data() + meta_at, &meta.zero_point, sizeof(float));
+    std::memcpy(out.bytes.data() + meta_at + sizeof(float), &meta.scale,
                 sizeof(float));
   }
-  return block;
 }
 
 void decode_rows(const EncodedBlock& block, Matrix& dst,

@@ -35,6 +35,16 @@ struct EncodedBlock {
 EncodedBlock encode_rows(const Matrix& src, std::span<const NodeId> rows,
                          std::span<const int> bits, Rng& rng);
 
+/// Steady-state form of encode_rows: rebuilds `out` in place (bytes cleared,
+/// capacity kept) with the stochastic-rounding uniforms in the caller-owned
+/// `uniform_scratch`. After a warmup call at the maximal payload size (the
+/// uniform 32-bit plan of epoch 0), repeated calls perform no heap
+/// allocation. Byte-identical to encode_rows and consumes the RNG stream
+/// identically.
+void encode_rows_into(const Matrix& src, std::span<const NodeId> rows,
+                      std::span<const int> bits, Rng& rng,
+                      std::vector<float>& uniform_scratch, EncodedBlock& out);
+
 /// Decode a block into the `dst_rows[i]`-th row of `dst`, in order.
 /// Throws on malformed/corrupt streams (magic, bounds, dim mismatches).
 void decode_rows(const EncodedBlock& block, Matrix& dst,

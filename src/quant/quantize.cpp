@@ -54,15 +54,17 @@ namespace {
 
 /// Uniform draws for stochastic rounding, one per element in element order
 /// — exactly the draws the pre-registry scalar loop made, so RNG streams
-/// are unchanged. thread_local: encodes run concurrently per pair.
-std::span<const float> draw_uniforms(std::size_t n, Rng& rng) {
-  thread_local std::vector<float> u;
+/// are unchanged. The buffer is caller-owned (per encode stream, so
+/// concurrent per-pair encodes never share it) and only grows.
+std::span<const float> draw_uniforms(std::size_t n, Rng& rng,
+                                     std::vector<float>& u) {
   if (u.size() < n) u.resize(n);
   for (std::size_t i = 0; i < n; ++i) u[i] = rng.uniform_float();
   return {u.data(), n};
 }
 
 QuantMeta quantize_payload(std::span<const float> values, int bits, Rng& rng,
+                           std::vector<float>& uniform_scratch,
                            std::uint8_t* payload) {
   const auto& kernel = simd::kernels();
   float lo = 0.0f, hi = 0.0f;
@@ -78,7 +80,7 @@ QuantMeta quantize_payload(std::span<const float> values, int bits, Rng& rng,
   const auto levels = static_cast<float>((1u << bits) - 1u);
   meta.scale = (hi - lo) / levels;
   if (meta.scale > 0.0f) {
-    const auto u = draw_uniforms(values.size(), rng);
+    const auto u = draw_uniforms(values.size(), rng, uniform_scratch);
     kernel.quantize_pack(bits, values.data(), values.size(), meta.zero_point,
                          meta.scale, u.data(), payload);
   }
@@ -101,7 +103,8 @@ QuantizedVector quantize(std::span<const float> values, int bits, Rng& rng) {
 
   qv.payload.assign((values.size() * static_cast<std::size_t>(bits) + 7) / 8,
                     0);
-  const QuantMeta meta = quantize_payload(values, bits, rng,
+  std::vector<float> uniform_scratch;
+  const QuantMeta meta = quantize_payload(values, bits, rng, uniform_scratch,
                                           qv.payload.data());
   qv.zero_point = meta.zero_point;
   qv.scale = meta.scale;
@@ -110,6 +113,13 @@ QuantizedVector quantize(std::span<const float> values, int bits, Rng& rng) {
 
 QuantMeta quantize_append(std::span<const float> values, int bits, Rng& rng,
                           std::vector<std::uint8_t>& out) {
+  std::vector<float> uniform_scratch;
+  return quantize_append(values, bits, rng, out, uniform_scratch);
+}
+
+QuantMeta quantize_append(std::span<const float> values, int bits, Rng& rng,
+                          std::vector<std::uint8_t>& out,
+                          std::vector<float>& uniform_scratch) {
   ADAQP_CHECK(is_valid_bit_width(bits));
   const std::size_t at = out.size();
   if (bits == 32) {
@@ -119,7 +129,8 @@ QuantMeta quantize_append(std::span<const float> values, int bits, Rng& rng,
   }
   out.resize(at + (values.size() * static_cast<std::size_t>(bits) + 7) / 8,
              0);
-  return quantize_payload(values, bits, rng, out.data() + at);
+  return quantize_payload(values, bits, rng, uniform_scratch,
+                          out.data() + at);
 }
 
 void dequantize_payload(const std::uint8_t* payload, int bits,

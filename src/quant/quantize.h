@@ -56,6 +56,15 @@ struct QuantMeta {
 QuantMeta quantize_append(std::span<const float> values, int bits, Rng& rng,
                           std::vector<std::uint8_t>& out);
 
+/// Steady-state form: the stochastic-rounding uniforms live in the
+/// caller-provided `uniform_scratch` (grown once to the row width), so
+/// repeated calls perform no heap allocation once `out`'s capacity and the
+/// scratch have warmed up. Byte-identical to the overload above, and the RNG
+/// stream consumption is unchanged (one draw per element, element order).
+QuantMeta quantize_append(std::span<const float> values, int bits, Rng& rng,
+                          std::vector<std::uint8_t>& out,
+                          std::vector<float>& uniform_scratch);
+
 /// Dequantize `dim` values packed at `bits` directly from a wire payload
 /// (Eqn. 5) — the in-place form decode_rows uses. `payload` must hold the
 /// exact payload size; validation is the caller's job.

@@ -6,11 +6,17 @@
 // the banding (disjoint writes, fixed per-element accumulation order), so
 // results are bit-identical for every thread count. Nested regions run
 // inline on the calling worker.
+//
+// Both loops dispatch through ThreadPool's raw function-pointer form with a
+// stack-allocated context, so entering a parallel region performs no heap
+// allocation — part of the steady-state contract (docs/ARCHITECTURE.md).
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -35,13 +41,21 @@ void parallel_for(std::size_t n, std::size_t grain, Body&& body) {
     body(static_cast<std::size_t>(0), n);
     return;
   }
-  const std::size_t base = n / chunks, rem = n % chunks;
-  const std::function<void(std::size_t)> task = [&](std::size_t c) {
-    const std::size_t begin = c * base + std::min(c, rem);
-    const std::size_t end = begin + base + (c < rem ? 1 : 0);
-    body(begin, end);
-  };
-  pool.run(chunks, task);
+  using BodyT = std::remove_reference_t<Body>;
+  struct Ctx {
+    BodyT* body;
+    std::size_t base;
+    std::size_t rem;
+  } ctx{std::addressof(body), n / chunks, n % chunks};
+  pool.run(
+      chunks,
+      [](std::size_t c, void* p) {
+        Ctx& cx = *static_cast<Ctx*>(p);
+        const std::size_t begin = c * cx.base + std::min(c, cx.rem);
+        const std::size_t end = begin + cx.base + (c < cx.rem ? 1 : 0);
+        (*cx.body)(begin, end);
+      },
+      &ctx);
 }
 
 /// Run body(i) as one pool task per index — the per-device task form used by
@@ -58,10 +72,10 @@ void parallel_for_each(std::size_t n, Body&& body) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  const std::function<void(std::size_t)> task = [&](std::size_t i) {
-    body(i);
-  };
-  pool.run(n, task);
+  using BodyT = std::remove_reference_t<Body>;
+  pool.run(
+      n, [](std::size_t i, void* p) { (*static_cast<BodyT*>(p))(i); },
+      const_cast<void*>(static_cast<const void*>(std::addressof(body))));
 }
 
 /// A batch of heterogeneous tasks (typically one per simulated device)

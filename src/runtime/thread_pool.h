@@ -9,6 +9,14 @@
 // makes multi-threaded runs bit-identical to ADAQP_THREADS=1 runs by
 // construction — the invariant tests/test_runtime.cpp enforces.
 //
+// Steady-state allocation contract (docs/ARCHITECTURE.md): dispatching a
+// parallel region performs no heap allocation. The primary run() form takes
+// a plain function pointer + context (no std::function), the batch slot is
+// embedded in the pool, and the detached queue is a ring buffer that grows
+// only while warming up. Detached submissions stay allocation-free as long
+// as the submitted closure fits std::function's small-buffer optimization
+// (16 bytes on libstdc++ — two pointers; StageGraph's resubmissions do).
+//
 // Thread count resolution: the ADAQP_THREADS environment variable if set
 // (clamped to [1, 256]), otherwise std::thread::hardware_concurrency().
 // Tests and tools can override at runtime with set_num_threads().
@@ -21,6 +29,9 @@ namespace adaqp {
 
 class ThreadPool {
  public:
+  /// Plain-function batch task: fn(task_index, ctx).
+  using RawTask = void (*)(std::size_t, void*);
+
   /// Spawns num_threads - 1 workers; the calling thread participates in
   /// every parallel region, so num_threads == 1 spawns nothing.
   explicit ThreadPool(int num_threads);
@@ -31,12 +42,19 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
-  /// Runs task(i) exactly once for every i in [0, num_tasks), blocking until
-  /// all complete. Tasks are claimed via an atomic ticket counter (no
+  /// Runs fn(i, ctx) exactly once for every i in [0, num_tasks), blocking
+  /// until all complete. Tasks are claimed via an atomic ticket counter (no
   /// stealing, no re-execution). Calls from inside a pool task run the whole
   /// batch inline on the calling thread — nested parallelism collapses to
   /// serial instead of deadlocking. The first exception thrown by any task
-  /// is rethrown on the calling thread after the batch finishes.
+  /// is rethrown on the calling thread after the batch finishes. Performs no
+  /// heap allocation. Only one external thread may drive batches (the
+  /// library's single-driver model); concurrent external run() calls are
+  /// not supported.
+  void run(std::size_t num_tasks, RawTask fn, void* ctx);
+
+  /// Convenience adapter over the raw form (the std::function itself is the
+  /// context; no allocation beyond what the caller's function holds).
   void run(std::size_t num_tasks,
            const std::function<void(std::size_t)>& task);
 

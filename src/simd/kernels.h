@@ -79,6 +79,35 @@ struct KernelTable {
   /// GEMM row-band microkernel: c[j] += a * b[j] for j in [0, n), each
   /// element an independent unfused multiply-add.
   void (*axpy)(float a, const float* b, float* c, std::size_t n);
+
+  /// Aggregation self-term: dst[j] = a * src[j] for j in [0, n) — a pure
+  /// overwrite, one multiply per element, so lanes are independent and the
+  /// result is bit-identical across ISAs by IEEE multiplication alone.
+  /// dst and src must not overlap (the aggregation output buffer is
+  /// disjoint from the layer input).
+  void (*scale_row)(float a, const float* src, float* dst, std::size_t n);
+
+  /// Error-feedback fold: dst[j] = a[j] + b[j] — one IEEE addition per
+  /// element, no accumulation, so bit-identity across ISAs is trivial.
+  /// dst may alias a (the in-place residual fold) but not partially
+  /// overlap it.
+  void (*ef_fold)(const float* a, const float* b, float* dst, std::size_t n);
+
+  /// Error-feedback residual: dst[j] = a[j] - b[j] — one IEEE subtraction
+  /// per element; same aliasing rule as ef_fold.
+  void (*ef_residual)(const float* a, const float* b, float* dst,
+                      std::size_t n);
+
+  /// Aggregation gather band: for each k ascending in [0, count),
+  /// dst[j] += coeffs[k] * base[idx[k] * stride + j] for j in [0, n).
+  /// The k loop is strictly serial per element (vectorization is across j,
+  /// the feature channels), so every dst element sees the identical
+  /// k-ascending unfused multiply-add chain on every ISA and thread count —
+  /// the same argument that keeps gemm's k-loop bit-identical. dst must not
+  /// alias any gathered row.
+  void (*gather_axpy)(const float* base, std::size_t stride,
+                      const std::uint32_t* idx, const float* coeffs,
+                      std::size_t count, float* dst, std::size_t n);
 };
 
 /// Table for active_isa(), resolved once and cached; set_isa_override()

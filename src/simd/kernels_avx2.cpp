@@ -266,9 +266,66 @@ void axpy(float a, const float* b, float* c, std::size_t n) {
   for (; j < n; ++j) c[j] += a * b[j];
 }
 
+void scale_row(float a, const float* src, float* dst, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    _mm256_storeu_ps(dst + j, _mm256_mul_ps(va, _mm256_loadu_ps(src + j)));
+    _mm256_storeu_ps(dst + j + 8,
+                     _mm256_mul_ps(va, _mm256_loadu_ps(src + j + 8)));
+  }
+  for (; j + 8 <= n; j += 8)
+    _mm256_storeu_ps(dst + j, _mm256_mul_ps(va, _mm256_loadu_ps(src + j)));
+  for (; j < n; ++j) dst[j] = a * src[j];
+}
+
+void ef_fold(const float* a, const float* b, float* dst, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8)
+    _mm256_storeu_ps(
+        dst + j, _mm256_add_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j)));
+  for (; j < n; ++j) dst[j] = a[j] + b[j];
+}
+
+void ef_residual(const float* a, const float* b, float* dst, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8)
+    _mm256_storeu_ps(
+        dst + j, _mm256_sub_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j)));
+  for (; j < n; ++j) dst[j] = a[j] - b[j];
+}
+
+void gather_axpy(const float* base, std::size_t stride,
+                 const std::uint32_t* idx, const float* coeffs,
+                 std::size_t count, float* dst, std::size_t n) {
+  // k stays a serial outer loop (the determinism contract); only the
+  // feature channels j are vectorized, with the same unfused mul-then-add
+  // per element the scalar reference performs.
+  for (std::size_t k = 0; k < count; ++k) {
+    const float ck = coeffs[k];
+    const float* src = base + static_cast<std::size_t>(idx[k]) * stride;
+    const __m256 vc = _mm256_set1_ps(ck);
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      const __m256 p0 = _mm256_mul_ps(vc, _mm256_loadu_ps(src + j));
+      const __m256 p1 = _mm256_mul_ps(vc, _mm256_loadu_ps(src + j + 8));
+      _mm256_storeu_ps(dst + j, _mm256_add_ps(_mm256_loadu_ps(dst + j), p0));
+      _mm256_storeu_ps(dst + j + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(dst + j + 8), p1));
+    }
+    for (; j + 8 <= n; j += 8)
+      _mm256_storeu_ps(
+          dst + j, _mm256_add_ps(_mm256_loadu_ps(dst + j),
+                                 _mm256_mul_ps(vc, _mm256_loadu_ps(src + j))));
+    for (; j < n; ++j) dst[j] += ck * src[j];
+  }
+}
+
 const KernelTable kTable = {
     row_minmax, quantize_pack, unpack_dequant,
     pack_bits_k, unpack_bits_k, axpy,
+    scale_row,  ef_fold,       ef_residual,
+    gather_axpy,
 };
 
 }  // namespace

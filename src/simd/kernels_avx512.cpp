@@ -223,9 +223,72 @@ void axpy(float a, const float* b, float* c, std::size_t n) {
   }
 }
 
+void scale_row(float a, const float* src, float* dst, std::size_t n) {
+  const __m512 va = _mm512_set1_ps(a);
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16)
+    _mm512_storeu_ps(dst + j, _mm512_mul_ps(va, _mm512_loadu_ps(src + j)));
+  if (j < n) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (n - j)) - 1u);
+    _mm512_mask_storeu_ps(
+        dst + j, m, _mm512_mul_ps(va, _mm512_maskz_loadu_ps(m, src + j)));
+  }
+}
+
+void ef_fold(const float* a, const float* b, float* dst, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16)
+    _mm512_storeu_ps(
+        dst + j, _mm512_add_ps(_mm512_loadu_ps(a + j), _mm512_loadu_ps(b + j)));
+  if (j < n) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (n - j)) - 1u);
+    _mm512_mask_storeu_ps(dst + j, m,
+                          _mm512_add_ps(_mm512_maskz_loadu_ps(m, a + j),
+                                        _mm512_maskz_loadu_ps(m, b + j)));
+  }
+}
+
+void ef_residual(const float* a, const float* b, float* dst, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16)
+    _mm512_storeu_ps(
+        dst + j, _mm512_sub_ps(_mm512_loadu_ps(a + j), _mm512_loadu_ps(b + j)));
+  if (j < n) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (n - j)) - 1u);
+    _mm512_mask_storeu_ps(dst + j, m,
+                          _mm512_sub_ps(_mm512_maskz_loadu_ps(m, a + j),
+                                        _mm512_maskz_loadu_ps(m, b + j)));
+  }
+}
+
+void gather_axpy(const float* base, std::size_t stride,
+                 const std::uint32_t* idx, const float* coeffs,
+                 std::size_t count, float* dst, std::size_t n) {
+  // k stays a serial outer loop (the determinism contract); only the
+  // feature channels j are vectorized, unfused mul-then-add per element.
+  for (std::size_t k = 0; k < count; ++k) {
+    const float ck = coeffs[k];
+    const float* src = base + static_cast<std::size_t>(idx[k]) * stride;
+    const __m512 vc = _mm512_set1_ps(ck);
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      const __m512 p = _mm512_mul_ps(vc, _mm512_loadu_ps(src + j));
+      _mm512_storeu_ps(dst + j, _mm512_add_ps(_mm512_loadu_ps(dst + j), p));
+    }
+    if (j < n) {
+      const __mmask16 m = static_cast<__mmask16>((1u << (n - j)) - 1u);
+      const __m512 p = _mm512_mul_ps(vc, _mm512_maskz_loadu_ps(m, src + j));
+      _mm512_mask_storeu_ps(
+          dst + j, m, _mm512_add_ps(_mm512_maskz_loadu_ps(m, dst + j), p));
+    }
+  }
+}
+
 const KernelTable kTable = {
     row_minmax, quantize_pack, unpack_dequant,
     pack_bits_k, unpack_bits_k, axpy,
+    scale_row,  ef_fold,       ef_residual,
+    gather_axpy,
 };
 
 }  // namespace

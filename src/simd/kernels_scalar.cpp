@@ -73,9 +73,33 @@ void axpy(float a, const float* b, float* c, std::size_t n) {
   for (std::size_t j = 0; j < n; ++j) c[j] += a * b[j];
 }
 
+void scale_row(float a, const float* src, float* dst, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) dst[j] = a * src[j];
+}
+
+void ef_fold(const float* a, const float* b, float* dst, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) dst[j] = a[j] + b[j];
+}
+
+void ef_residual(const float* a, const float* b, float* dst, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) dst[j] = a[j] - b[j];
+}
+
+void gather_axpy(const float* base, std::size_t stride,
+                 const std::uint32_t* idx, const float* coeffs,
+                 std::size_t count, float* dst, std::size_t n) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const float ck = coeffs[k];
+    const float* src = base + static_cast<std::size_t>(idx[k]) * stride;
+    for (std::size_t j = 0; j < n; ++j) dst[j] += ck * src[j];
+  }
+}
+
 const KernelTable kTable = {
     row_minmax, quantize_pack, unpack_dequant,
     pack_bits_k, unpack_bits_k, axpy,
+    scale_row,  ef_fold,       ef_residual,
+    gather_axpy,
 };
 
 }  // namespace

@@ -141,6 +141,8 @@ void quantize_pack(int bits, const float* x, std::size_t n, float zp,
 
 /// Expand one 16-byte packed chunk into one byte per value in s[0..15].
 /// `count` values are valid (count <= 16); reads ceil(count*bits/8) bytes.
+/// Full chunks (count == 16) take vector paths; tails fall back to the
+/// scalar unpack. Both produce the same bytes — integer ops are exact.
 inline std::size_t expand16(int bits, const std::uint8_t* packed,
                             std::size_t count, std::uint8_t* s) {
   if (count > 16) __builtin_unreachable();  // s is a 16-byte staging chunk
@@ -150,6 +152,18 @@ inline std::size_t expand16(int bits, const std::uint8_t* packed,
       return count;
     case 4: {
       const std::size_t nbytes = (count + 1) / 2;
+      if (count == 16) {
+        // 8 packed bytes -> 16 nibbles; interleaving low/high nibble
+        // vectors restores the little-endian within-byte value order.
+        const __m128i v =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(packed));
+        const __m128i lo = _mm_and_si128(v, _mm_set1_epi8(0x0F));
+        const __m128i hi =
+            _mm_and_si128(_mm_srli_epi16(v, 4), _mm_set1_epi8(0x0F));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(s),
+                         _mm_unpacklo_epi8(lo, hi));
+        return nbytes;
+      }
       for (std::size_t j = 0; j < nbytes; ++j) {
         s[2 * j] = packed[j] & 0x0F;
         s[2 * j + 1] = packed[j] >> 4;
@@ -158,6 +172,31 @@ inline std::size_t expand16(int bits, const std::uint8_t* packed,
     }
     default: {  // 2
       const std::size_t nbytes = (count + 3) / 4;
+      if (count == 16) {
+        // 4 packed bytes, 4 crumbs each: replicate every byte into 4 lanes,
+        // widen to 16 bits, isolate each crumb with its positional mask,
+        // and multiply so the crumb lands at bit 6 for a shared >> 6.
+        std::uint32_t word;
+        std::memcpy(&word, packed, 4);
+        const __m128i rep = _mm_shuffle_epi8(
+            _mm_cvtsi32_si128(static_cast<int>(word)),
+            _mm_set_epi8(3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1, 0, 0, 0, 0));
+        const __m128i mask = _mm_set_epi16(0x00C0, 0x0030, 0x000C, 0x0003,
+                                           0x00C0, 0x0030, 0x000C, 0x0003);
+        const __m128i mult = _mm_set_epi16(1, 4, 16, 64, 1, 4, 16, 64);
+        const __m128i zero = _mm_setzero_si128();
+        const __m128i lo16 = _mm_srli_epi16(
+            _mm_mullo_epi16(
+                _mm_and_si128(_mm_unpacklo_epi8(rep, zero), mask), mult),
+            6);
+        const __m128i hi16 = _mm_srli_epi16(
+            _mm_mullo_epi16(
+                _mm_and_si128(_mm_unpackhi_epi8(rep, zero), mask), mult),
+            6);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(s),
+                         _mm_packus_epi16(lo16, hi16));
+        return nbytes;
+      }
       for (std::size_t j = 0; j < nbytes; ++j) {
         s[4 * j] = packed[j] & 3;
         s[4 * j + 1] = (packed[j] >> 2) & 3;
@@ -252,9 +291,51 @@ void axpy(float a, const float* b, float* c, std::size_t n) {
   for (; j < n; ++j) c[j] += a * b[j];
 }
 
+void scale_row(float a, const float* src, float* dst, std::size_t n) {
+  const __m128 va = _mm_set1_ps(a);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4)
+    _mm_storeu_ps(dst + j, _mm_mul_ps(va, _mm_loadu_ps(src + j)));
+  for (; j < n; ++j) dst[j] = a * src[j];
+}
+
+void ef_fold(const float* a, const float* b, float* dst, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4)
+    _mm_storeu_ps(dst + j,
+                  _mm_add_ps(_mm_loadu_ps(a + j), _mm_loadu_ps(b + j)));
+  for (; j < n; ++j) dst[j] = a[j] + b[j];
+}
+
+void ef_residual(const float* a, const float* b, float* dst, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4)
+    _mm_storeu_ps(dst + j,
+                  _mm_sub_ps(_mm_loadu_ps(a + j), _mm_loadu_ps(b + j)));
+  for (; j < n; ++j) dst[j] = a[j] - b[j];
+}
+
+void gather_axpy(const float* base, std::size_t stride,
+                 const std::uint32_t* idx, const float* coeffs,
+                 std::size_t count, float* dst, std::size_t n) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const float ck = coeffs[k];
+    const float* src = base + static_cast<std::size_t>(idx[k]) * stride;
+    const __m128 vc = _mm_set1_ps(ck);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4)
+      _mm_storeu_ps(dst + j,
+                    _mm_add_ps(_mm_loadu_ps(dst + j),
+                               _mm_mul_ps(vc, _mm_loadu_ps(src + j))));
+    for (; j < n; ++j) dst[j] += ck * src[j];
+  }
+}
+
 const KernelTable kTable = {
     row_minmax, quantize_pack, unpack_dequant,
     pack_bits_k, unpack_bits_k, axpy,
+    scale_row,  ef_fold,       ef_residual,
+    gather_axpy,
 };
 
 }  // namespace

@@ -21,6 +21,17 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
 
 void Matrix::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
+void Matrix::reshape_uninit(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void Matrix::reshape_zero(std::size_t rows, std::size_t cols) {
+  reshape_uninit(rows, cols);
+  fill(0.0f);
+}
+
 void Matrix::fill_normal(Rng& rng, float mean, float stddev) {
   for (auto& v : data_)
     v = static_cast<float>(rng.normal(mean, stddev));
@@ -97,8 +108,7 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   ADAQP_CHECK_MSG(a.cols() == b.rows(), "gemm: inner dims " << a.cols()
                                                             << " vs " << b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
-  else c.set_zero();
+  c.reshape_zero(m, n);
   const auto axpy = simd::kernels().axpy;
   parallel_for(m, kRowGrain, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t jj = 0; jj < n; jj += kBlockN) {
@@ -158,8 +168,7 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
   ADAQP_CHECK_MSG(a.rows() == b.rows(),
                   "gemm_tn: shared dim " << a.rows() << " vs " << b.rows());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
-  else c.set_zero();
+  c.reshape_zero(m, n);
   const auto axpy = simd::kernels().axpy;
   parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t jj = 0; jj < n; jj += kBlockN) {
@@ -186,8 +195,7 @@ void gemm_tn_rows(const Matrix& a, const Matrix& b, Matrix& c,
                   "gemm_tn_rows: shared dim " << a.rows() << " vs "
                                               << b.rows());
   const std::size_t m = a.cols(), n = b.cols();
-  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
-  else c.set_zero();
+  c.reshape_zero(m, n);
   for (const std::uint32_t p : rows) ADAQP_CHECK(p < a.rows());
   // Shared-dim iteration follows the span order (no k-tiling: the subset is
   // the tile), so every C element accumulates its products in `rows` order —
@@ -213,8 +221,7 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
   ADAQP_CHECK_MSG(a.cols() == b.cols(),
                   "gemm_nt: shared dim " << a.cols() << " vs " << b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
-  else c.set_zero();
+  c.reshape_zero(m, n);
   parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t jj = 0; jj < n; jj += kBlockN) {
       const std::size_t jhi = std::min(jj + kBlockN, n);
@@ -269,14 +276,14 @@ void gemm_nt_rows(const Matrix& a, const Matrix& b, Matrix& c,
 }
 
 void relu_forward(const Matrix& in, Matrix& out) {
-  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
+  out.reshape_uninit(in.rows(), in.cols());
   for (std::size_t i = 0; i < in.size(); ++i)
     out.data()[i] = in.data()[i] > 0.0f ? in.data()[i] : 0.0f;
 }
 
 void relu_backward(const Matrix& in, const Matrix& grad_out, Matrix& grad_in) {
   ADAQP_CHECK(in.same_shape(grad_out));
-  if (!grad_in.same_shape(in)) grad_in = Matrix(in.rows(), in.cols());
+  grad_in.reshape_uninit(in.rows(), in.cols());
   for (std::size_t i = 0; i < in.size(); ++i)
     grad_in.data()[i] = in.data()[i] > 0.0f ? grad_out.data()[i] : 0.0f;
 }
@@ -284,7 +291,7 @@ void relu_backward(const Matrix& in, const Matrix& grad_out, Matrix& grad_in) {
 void dropout_mask(std::size_t rows, std::size_t cols, float p, Rng& rng,
                   Matrix& mask) {
   ADAQP_CHECK_MSG(p >= 0.0f && p < 1.0f, "dropout p=" << p);
-  if (mask.rows() != rows || mask.cols() != cols) mask = Matrix(rows, cols);
+  mask.reshape_uninit(rows, cols);
   if (p == 0.0f) {
     mask.fill(1.0f);
     return;
@@ -297,7 +304,7 @@ void dropout_mask(std::size_t rows, std::size_t cols, float p, Rng& rng,
 void dropout_forward(const Matrix& in, float p, Rng& rng, Matrix& out,
                      Matrix& mask) {
   dropout_mask(in.rows(), in.cols(), p, rng, mask);
-  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
+  out.reshape_uninit(in.rows(), in.cols());
   if (p == 0.0f) {
     std::copy(in.data(), in.data() + in.size(), out.data());
     return;
@@ -309,8 +316,7 @@ void dropout_forward(const Matrix& in, float p, Rng& rng, Matrix& out,
 void dropout_backward(const Matrix& grad_out, const Matrix& mask,
                       Matrix& grad_in) {
   ADAQP_CHECK(grad_out.same_shape(mask));
-  if (!grad_in.same_shape(grad_out))
-    grad_in = Matrix(grad_out.rows(), grad_out.cols());
+  grad_in.reshape_uninit(grad_out.rows(), grad_out.cols());
   for (std::size_t i = 0; i < grad_out.size(); ++i)
     grad_in.data()[i] = grad_out.data()[i] * mask.data()[i];
 }

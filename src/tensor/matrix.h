@@ -78,6 +78,14 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
+  /// Re-shape to rows x cols reusing the retained capacity; contents are
+  /// unspecified (stale) and must be fully overwritten by the caller. The
+  /// steady-state reshape: allocates only when rows*cols exceeds every
+  /// previous size of this matrix.
+  void reshape_uninit(std::size_t rows, std::size_t cols);
+  /// Re-shape to rows x cols and zero every element (same reuse semantics).
+  void reshape_zero(std::size_t rows, std::size_t cols);
+
  private:
   void check_indices([[maybe_unused]] std::size_t r,
                      [[maybe_unused]] std::size_t c) const {

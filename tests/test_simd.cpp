@@ -343,6 +343,80 @@ TEST(SimdGemm, AxpyKernelHandlesRaggedTails) {
   }
 }
 
+// ---- Aggregation & error-feedback kernels ---------------------------------
+
+/// The new kernel-matrix entries (scale_row, ef_fold, ef_residual,
+/// gather_axpy) must be bit-identical to the scalar reference on every
+/// host-supported ISA at ragged sizes straddling all vector widths.
+TEST(SimdAggregate, NewKernelsBitIdenticalAcrossIsasOnRaggedTails) {
+  const std::size_t sizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33,
+                               63, 64, 65, 100, 130};
+  for (Isa isa : simd::supported_isas()) {
+    IsaGuard guard(isa);
+    const auto& kt = simd::kernels();
+    for (std::size_t n : sizes) {
+      Rng rng(n + 99);
+      std::vector<float> a(n), b(n), dst(n), ref(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+        b[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+      }
+      const float s = 0.731f;
+      if (n > 0) {
+        kt.scale_row(s, a.data(), dst.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = s * a[i];
+        EXPECT_EQ(dst, ref) << isa_name(isa) << " scale_row n=" << n;
+
+        kt.ef_fold(a.data(), b.data(), dst.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = a[i] + b[i];
+        EXPECT_EQ(dst, ref) << isa_name(isa) << " ef_fold n=" << n;
+
+        // In-place fold (dst aliases a), the trainer's residual-add form.
+        std::vector<float> inplace = a;
+        kt.ef_fold(inplace.data(), b.data(), inplace.data(), n);
+        EXPECT_EQ(inplace, ref) << isa_name(isa) << " ef_fold alias n=" << n;
+
+        kt.ef_residual(a.data(), b.data(), dst.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = a[i] - b[i];
+        EXPECT_EQ(dst, ref) << isa_name(isa) << " ef_residual n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdAggregate, GatherAxpyMatchesScalarKLoopAtEveryIsa) {
+  // A small row pool gathered in a fixed k-ascending order: every dst
+  // element must see the identical unfused multiply-add chain on every ISA.
+  const std::size_t kRows = 13, kStride = 37;
+  Rng rng(7);
+  std::vector<float> base(kRows * kStride);
+  for (float& v : base) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::size_t n : {1ul, 3ul, 8ul, 16ul, 17ul, 37ul}) {
+    for (std::size_t count : {0ul, 1ul, 2ul, 5ul, 13ul}) {
+      std::vector<std::uint32_t> idx(count);
+      std::vector<float> coeffs(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        idx[k] = static_cast<std::uint32_t>((k * 5 + 3) % kRows);
+        coeffs[k] = static_cast<float>(rng.uniform(0.1, 1.5));
+      }
+      std::vector<float> ref(n, 0.25f);
+      {
+        IsaGuard guard(Isa::kScalar);
+        simd::kernels().gather_axpy(base.data(), kStride, idx.data(),
+                                    coeffs.data(), count, ref.data(), n);
+      }
+      for (Isa isa : vector_isas()) {
+        IsaGuard guard(isa);
+        std::vector<float> dst(n, 0.25f);
+        simd::kernels().gather_axpy(base.data(), kStride, idx.data(),
+                                    coeffs.data(), count, dst.data(), n);
+        EXPECT_EQ(dst, ref)
+            << isa_name(isa) << " n=" << n << " count=" << count;
+      }
+    }
+  }
+}
+
 // ---- Full training runs across ISAs ---------------------------------------
 
 /// Scoped global-pool override; restores the previous size on exit.

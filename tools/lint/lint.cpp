@@ -30,6 +30,19 @@
 //                              variable pins -ffp-contract=off — the
 //                              unfused multiply-add rule of the determinism
 //                              contract (docs/ARCHITECTURE.md).
+//   hot-path-alloc             Files annotated `// lint:hot-path-file`
+//                              participate in the zero-allocation
+//                              steady-state contract (docs/ARCHITECTURE.md,
+//                              "Memory subsystem"): raw new-expressions,
+//                              make_unique/make_shared, and std::vector
+//                              growth calls (push_back / emplace_back /
+//                              resize / reserve / assign) must each carry a
+//                              lint:allow(hot-path-alloc) stating why the
+//                              allocation is warmup- or build-time only.
+//                              New steady-state allocations are caught
+//                              dynamically by bench_alloc_steady_state;
+//                              this rule makes the reviewer-visible intent
+//                              explicit at the line that allocates.
 //
 // Exit status: 0 clean, 1 violations, 2 usage/IO error.
 #include <cstddef>
@@ -85,6 +98,22 @@ bool has_token_not_qualified(const std::string& line,
     const std::size_t after = pos + token.size();
     const bool qualified = line.compare(after, 2, "::") == 0;
     if (boundary_before && !qualified) return true;
+    pos = after;
+  }
+  return false;
+}
+
+/// True when `code` contains a new-expression: the keyword `new` with
+/// identifier boundaries on both sides (so `renew` / `new_value` never
+/// match). Comments and literals are already stripped by the caller.
+bool has_new_expr(const std::string& code) {
+  std::size_t pos = 0;
+  while ((pos = code.find("new", pos)) != std::string::npos) {
+    const bool boundary_before = pos == 0 || !is_ident(code[pos - 1]);
+    const std::size_t after = pos + 3;
+    const bool boundary_after =
+        after >= code.size() || !is_ident(code[after]);
+    if (boundary_before && boundary_after) return true;
     pos = after;
   }
   return false;
@@ -154,11 +183,22 @@ void lint_source_file(const fs::path& root, const fs::path& path) {
   const bool is_env_impl = rel == "src/common/env.cpp";
   const bool is_header = path.extension() == ".h";
 
+  std::vector<std::string> lines;
+  for (std::string raw; std::getline(in, raw);) lines.push_back(raw);
+
+  // The hot-path-alloc rule applies to the whole file once the marker
+  // appears anywhere in it (by convention, in the header comment).
+  bool hot_path_file = false;
+  for (const std::string& l : lines)
+    if (l.find("lint:hot-path-file") != std::string::npos) {
+      hot_path_file = true;
+      break;
+    }
+
   bool saw_pragma_once = false;
   bool in_block = false;
-  std::string raw;
   std::size_t lineno = 0;
-  while (std::getline(in, raw)) {
+  for (const std::string& raw : lines) {
     ++lineno;
     const std::string code = strip_code_line(raw, in_block);
 
@@ -184,6 +224,17 @@ void lint_source_file(const fs::path& root, const fs::path& path) {
         report(path, lineno, "no-rand-time-outside-rng",
                "nondeterministic randomness/clock seeding outside "
                "src/common/rng.h — draw from a seeded Rng stream");
+    }
+
+    if (hot_path_file && !allows(raw, "hot-path-alloc")) {
+      if (has_new_expr(code) || has_token(code, "make_unique") ||
+          has_token(code, "make_shared") || has_token(code, "push_back") ||
+          has_token(code, "emplace_back") || has_token(code, "resize") ||
+          has_token(code, "reserve") || has_token(code, "assign"))
+        report(path, lineno, "hot-path-alloc",
+               "allocation/growth in a hot-path file — pool it (memory/"
+               "workspace.h) or annotate warmup-only lines with "
+               "lint:allow(hot-path-alloc)");
     }
 
     if (!is_env_impl && !allows(raw, "env-via-helpers")) {
