@@ -86,56 +86,25 @@ inline void emit(const Table& table, const std::string& title,
 // sets (exchange vs compute) and measure realized concurrency as the
 // intersection of their busy times. Intervals are (begin, end) pairs in
 // microseconds, as recorded by pipeline::TraceRecorder.
+//
+// The arithmetic lives in obs/stopwatch.h — the same routines the trainer
+// uses for the metrics report's realized-overlap figures — so bench numbers
+// and ADAQP_METRICS numbers can never drift apart. These wrappers keep the
+// benches' copy-friendly signatures (the obs versions mutate in place).
 
 /// Seconds covered by the union of [begin, end) microsecond intervals.
 inline double interval_union_seconds(
     std::vector<std::pair<double, double>> iv) {
-  std::sort(iv.begin(), iv.end());
-  double total = 0.0, cur_b = 0.0, cur_e = -1.0;
-  for (const auto& [b, e] : iv) {
-    if (b > cur_e) {
-      if (cur_e > cur_b) total += cur_e - cur_b;
-      cur_b = b;
-      cur_e = e;
-    } else {
-      cur_e = std::max(cur_e, e);
-    }
-  }
-  if (cur_e > cur_b) total += cur_e - cur_b;
-  return total * 1e-6;
+  return obs::interval_union_seconds(iv);
 }
 
 /// Seconds where both interval sets are simultaneously active.
 inline double interval_intersection_seconds(
     const std::vector<std::pair<double, double>>& a,
     const std::vector<std::pair<double, double>>& b) {
-  // Coordinate sweep over activity counters of both sets.
-  struct Edge {
-    double t;
-    int set;   // 0 = a, 1 = b
-    int delta; // +1 open, -1 close
-  };
-  std::vector<Edge> edges;
-  edges.reserve(2 * (a.size() + b.size()));
-  for (const auto& [s, e] : a) {
-    edges.push_back({s, 0, 1});
-    edges.push_back({e, 0, -1});
-  }
-  for (const auto& [s, e] : b) {
-    edges.push_back({s, 1, 1});
-    edges.push_back({e, 1, -1});
-  }
-  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
-    return x.t < y.t || (x.t == y.t && x.delta < y.delta);
-  });
-  double total = 0.0, prev = 0.0;
-  int active[2] = {0, 0};
-  for (const Edge& ed : edges) {
-    if (active[0] > 0 && active[1] > 0) total += ed.t - prev;
-    active[ed.set] += ed.delta;
-    prev = ed.t;
-  }
-  return total * 1e-6;
+  std::vector<obs::Interval> ca(a);
+  std::vector<obs::Interval> cb(b);
+  return obs::interval_intersection_seconds(ca, cb);
 }
 
 }  // namespace adaqp::bench

@@ -87,12 +87,12 @@ int main(int argc, char** argv) {
   std::vector<std::pair<double, double>> exchange_iv, central_iv, marginal_iv;
   for (const auto& e : rec.events()) {
     const auto iv = std::make_pair(e.ts_us, e.ts_us + e.dur_us);
-    const bool backward = e.name.find("b/") != std::string::npos;
-    if (e.name.rfind("fwd/", 0) == 0 || e.name.rfind("bwd-", 0) == 0)
+    const bool backward = e.name->find("b/") != std::string::npos;
+    if (e.name->rfind("fwd/", 0) == 0 || e.name->rfind("bwd-", 0) == 0)
       exchange_iv.push_back(iv);
-    else if (!backward && e.name.find("/central/") != std::string::npos)
+    else if (!backward && e.name->find("/central/") != std::string::npos)
       central_iv.push_back(iv);
-    else if (!backward && e.name.find("/marginal/") != std::string::npos)
+    else if (!backward && e.name->find("/marginal/") != std::string::npos)
       marginal_iv.push_back(iv);
   }
   const double exchange_busy = interval_union_seconds(exchange_iv);

@@ -62,11 +62,11 @@ void measure_backward_overlap(bool quick, const std::string& trace_path) {
       bwd_marginal_iv;
   for (const auto& e : rec.events()) {
     const auto iv = std::make_pair(e.ts_us, e.ts_us + e.dur_us);
-    if (e.name.rfind("bwd-", 0) == 0)
+    if (e.name->rfind("bwd-", 0) == 0)
       bwd_exchange_iv.push_back(iv);
-    else if (e.name.find("b/central/") != std::string::npos)
+    else if (e.name->find("b/central/") != std::string::npos)
       bwd_central_iv.push_back(iv);
-    else if (e.name.find("b/marginal/") != std::string::npos)
+    else if (e.name->find("b/marginal/") != std::string::npos)
       bwd_marginal_iv.push_back(iv);
   }
   const double exchange_busy = interval_union_seconds(bwd_exchange_iv);

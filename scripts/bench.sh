@@ -35,12 +35,13 @@ if [[ ! -x "$BUILD_DIR/bench_table4_main" ||
       ! -x "$BUILD_DIR/bench_pipeline_overlap" ||
       ! -x "$BUILD_DIR/bench_alloc_steady_state" ||
       ! -x "$BUILD_DIR/bench_aggregate_kernels" ||
+      ! -x "$BUILD_DIR/metrics_schema_check" ||
       ! -x "$BUILD_DIR/isa_info" ]]; then
   cmake -B "$BUILD_DIR" -S . >/dev/null
   cmake --build "$BUILD_DIR" -j \
     --target bench_table4_main bench_table7_scalability \
              bench_pipeline_overlap bench_alloc_steady_state \
-             bench_aggregate_kernels isa_info >/dev/null
+             bench_aggregate_kernels metrics_schema_check isa_info >/dev/null
 fi
 
 # SIMD ISA the kernel registry dispatches to for this run (honors ADAQP_ISA).
@@ -91,15 +92,56 @@ done
 run_bench bench_table4_main "$(nproc)" table4_main.csv 1 4 6 \
   "${TABLE4_ARGS[@]}"
 
-# Async pipeline overlap: measured exchange||central concurrency.
+# Async pipeline overlap: measured exchange||central concurrency. The run
+# also exercises the ADAQP_METRICS exporter end to end: the bench's last
+# training run writes an adaqp-metrics-v1 report, the schema checker gates
+# it (non-zero exit aborts the script), and a condensed summary is folded
+# into the run record below.
+METRICS_REPORT=bench/out/metrics_report.json
 echo "[bench.sh] bench_pipeline_overlap (ADAQP_THREADS=$(nproc)) ..." >&2
 t0=$(now)
-ADAQP_THREADS=$(nproc) "./$BUILD_DIR/bench_pipeline_overlap" \
-  "${OVERLAP_ARGS[@]}" >/dev/null 2>&1
+ADAQP_THREADS=$(nproc) ADAQP_METRICS="$METRICS_REPORT" \
+  "./$BUILD_DIR/bench_pipeline_overlap" "${OVERLAP_ARGS[@]}" >/dev/null 2>&1
 t1=$(now)
 overlap_wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
 ocsv=bench/out/pipeline_overlap.csv
 append_entry "{\"bench\":\"bench_pipeline_overlap\",\"threads\":$(nproc),\"wall_seconds\":$overlap_wall,\"overlap_efficiency\":$(metric_value "$ocsv" "measured overlap efficiency"),\"sync_over_async_speedup\":$(metric_value "$ocsv" "wall speedup sync/async")}"
+
+echo "[bench.sh] metrics_schema_check $METRICS_REPORT ..." >&2
+"./$BUILD_DIR/metrics_schema_check" "$METRICS_REPORT" >&2
+metrics_summary="{}"
+if command -v python3 >/dev/null 2>&1; then
+  metrics_summary=$(REPORT_PATH="$METRICS_REPORT" python3 - <<'PY'
+import json, os
+with open(os.environ["REPORT_PATH"]) as f:
+    doc = json.load(f)
+epochs = doc.get("epochs", [])
+wire = {k: 0 for k in ("b2", "b4", "b8", "b32")}
+messages = 0
+fwd_eff, bwd_eff = [], []
+for e in epochs:
+    ex = e.get("exchange", {})
+    messages += ex.get("messages", 0)
+    for k, v in ex.get("wire_bytes", {}).items():
+        wire[k] = wire.get(k, 0) + v
+    ov = e.get("overlap", {})
+    fwd_eff.append(ov.get("forward", {}).get("efficiency", 0.0))
+    bwd_eff.append(ov.get("backward", {}).get("efficiency", 0.0))
+mean = lambda xs: round(sum(xs) / len(xs), 4) if xs else 0.0
+print(json.dumps({
+    "schema": doc.get("schema"),
+    "method": doc.get("method"),
+    "dataset": doc.get("dataset"),
+    "epochs_captured": doc.get("epochs_captured"),
+    "messages": messages,
+    "wire_bytes": wire,
+    "mean_fwd_overlap_efficiency": mean(fwd_eff),
+    "mean_bwd_overlap_efficiency": mean(bwd_eff),
+}))
+PY
+)
+fi
+append_entry "{\"bench\":\"metrics_report\",\"report\":\"$METRICS_REPORT\",\"schema_valid\":true,\"summary\":$metrics_summary}"
 
 # Zero-allocation steady state (docs/ARCHITECTURE.md, "Memory subsystem"):
 # every method x async mode x thread count must finish its warm epochs with

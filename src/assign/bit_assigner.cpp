@@ -1,13 +1,14 @@
 #include "assign/bit_assigner.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
 #include "quant/quantize.h"
 
 namespace adaqp {
@@ -319,7 +320,7 @@ ExchangePlan assign_bit_widths(const DistGraph& dist,
                                const std::vector<std::vector<float>>& row_ranges,
                                std::size_t dim, const AssignerOptions& opts,
                                AssignReport* report) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch solve_watch;
   const int n = dist.num_devices();
   ADAQP_CHECK(opts.group_size >= 1);
 
@@ -394,10 +395,26 @@ ExchangePlan assign_bit_widths(const DistGraph& dist,
     }
   }
 
+  // Observability: solve count/latency and the realized bit-width
+  // distribution — recorded whether or not the caller asked for a report.
+  {
+    const obs::Instruments& ins = obs::instruments();
+    ins.assigner_solves.add(1);
+    ins.assigner_solve_us.record(solve_watch.elapsed_us());
+    std::array<std::uint64_t, 3> dist_by_width{};
+    for (const auto& per_device : plan.bits)
+      for (const auto& per_peer : per_device)
+        for (const int b : per_peer) {
+          const int w = obs::width_index(b);
+          if (w < 3) ++dist_by_width[static_cast<std::size_t>(w)];
+        }
+    for (int w = 0; w < 3; ++w)
+      ins.assigner_bits[static_cast<std::size_t>(w)]->add(
+          dist_by_width[static_cast<std::size_t>(w)]);
+  }
+
   if (report) {
-    const auto t1 = std::chrono::steady_clock::now();
-    rep.solve_wall_seconds =
-        std::chrono::duration<double>(t1 - t0).count();
+    rep.solve_wall_seconds = solve_watch.elapsed_seconds();
     // Simulated master gather/scatter of traced β data (paper Fig. 6):
     // every worker ships one double per message to rank 0 and receives one
     // byte (the bit choice) back.

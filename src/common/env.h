@@ -17,6 +17,9 @@
 //   ADAQP_TRACE      src/core/trainer.cpp          env::text
 //   ADAQP_RACECHECK  src/analysis/race_checker.cpp env::flag01
 //   ADAQP_RACECHECK_REPORT  src/analysis/          env::text
+//   ADAQP_ALLOC_TRACK  src/memory/alloc_track.cpp  env::flag01
+//   ADAQP_METRICS    src/obs/metrics.cpp           env::text
+//   ADAQP_METRICS_FORMAT  src/obs/metrics.cpp      env::text
 #pragma once
 
 #include <optional>

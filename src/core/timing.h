@@ -4,6 +4,11 @@
 // of owned rows into seconds under the ClusterSpec's device throughput.
 // Used both by the trainers (epoch composition) and directly by the benches
 // reproducing Table 2 / Fig. 3 (central-vs-marginal computation headroom).
+//
+// These are *model* seconds: deterministic functions of graph shape and the
+// cluster spec, independent of the host machine. Measured wall-clock time
+// uses obs::Stopwatch (obs/stopwatch.h) everywhere instead; the metrics run
+// report (docs/OBSERVABILITY.md) carries both side by side (sim.* vs wall.*).
 #pragma once
 
 #include <span>

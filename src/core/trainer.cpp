@@ -12,6 +12,8 @@
 #include "core/timing.h"
 #include "gnn/loss.h"
 #include "memory/alloc_track.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
 #include "pipeline/async_exchange.h"
 #include "pipeline/config.h"
 #include "pipeline/stage_graph.h"
@@ -254,6 +256,13 @@ DistTrainer::DistTrainer(const Dataset& dataset, const DistGraph& dist,
   adaqp_fwd_acct_.resize(num_layers_);
   adaqp_bwd_graph_.resize(num_layers_);
   adaqp_bwd_acct_.resize(num_layers_);
+  fused_fwd_exchange_ids_.resize(num_layers_);
+  fused_fwd_compute_ids_.resize(num_layers_);
+  fused_bwd_exchange_ids_.resize(num_layers_);
+  fused_bwd_compute_ids_.resize(num_layers_);
+  // Register every metrics instrument now: the registry inserts on first
+  // use, and first use must not land inside a steady-state epoch.
+  (void)obs::instruments();
   adaqp_marginal_sinks_.resize(num_layers_);
   adaqp_central_sinks_.resize(num_layers_);
   adaqp_bwd_scratch_.resize(num_layers_);
@@ -377,6 +386,7 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
                         exchange_parallel_ok());
       ex.wait_into(stats_scratch_);
       total_comm_bytes_ += stats_scratch_.total_bytes();
+      capture_exchange_stats(stats_scratch_);
       if (l == 0) last_layer1_pair_bytes_ = stats_scratch_.pair_bytes;
       const double comp = max_compute_seconds(l, false, false);
       bd.comm = stats_scratch_.comm_seconds;
@@ -399,6 +409,7 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
                           exchange_parallel_ok());
         ex.wait_into(stats_scratch_);
         total_comm_bytes_ += stats_scratch_.total_bytes();
+        capture_exchange_stats(stats_scratch_);
         if (l == 0) last_layer1_pair_bytes_ = stats_scratch_.pair_bytes;
         bd.comm = stats_scratch_.comm_seconds;
         bd.comp = comp;
@@ -467,6 +478,7 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
       }
       for (const auto& row : pair_bytes)
         for (std::size_t b : row) total_comm_bytes_ += b;
+      capture_sancus_pairs(pair_bytes);
       if (l == 0) last_layer1_pair_bytes_ = pair_bytes;
       const double comp = max_compute_seconds(l, false, false);
       bd.comm = comm;
@@ -579,6 +591,14 @@ EpochBreakdown DistTrainer::adaqp_forward_layer(int l, bool training) {
           },
           deps, std::move(acc));
     }
+    // Remember which stages are wire (per-pair encode/transfer/decode) and
+    // which are the central compute meant to hide under them: their stage
+    // timestamps yield the realized overlap in the metrics report. The
+    // graph is persistent, so the ids stay valid for the whole run.
+    for (const auto& row : pair.stage)
+      for (const int id : row)
+        if (id >= 0) fused_fwd_exchange_ids_[l].push_back(id);
+    fused_fwd_compute_ids_[l] = central;
     // Warm the staging the 32-bit warmup rounds never touch: quantized
     // rounds draw per-column stochastic-rounding uniforms.
     acct.warm(dist_, fwd_plans_[l], /*forward=*/true, model_.layer_in_dim(l));
@@ -597,6 +617,10 @@ EpochBreakdown DistTrainer::adaqp_forward_layer(int l, bool training) {
   }
 
   total_comm_bytes_ += stats_scratch_.total_bytes();
+  capture_exchange_stats(stats_scratch_);
+  if (adaqp_fwd_graph_[l])
+    capture_overlap(*adaqp_fwd_graph_[l], fused_fwd_exchange_ids_[l],
+                    fused_fwd_compute_ids_[l], /*forward=*/true);
   if (l == 0) last_layer1_pair_bytes_ = stats_scratch_.pair_bytes;
   // Modeled epoch time: central compute hides inside communication, the
   // quantize / de-quantize kernels and marginal compute do not (Fig. 10a).
@@ -627,6 +651,7 @@ EpochBreakdown DistTrainer::backward_exchange(int l,
                          exchange_parallel_ok());
       ex.wait_into(stats_scratch_);
       total_comm_bytes_ += stats_scratch_.total_bytes();
+      capture_exchange_stats(stats_scratch_);
       bd.comm = stats_scratch_.comm_seconds;
       bd.total = stats_scratch_.comm_seconds;
       return bd;
@@ -717,6 +742,7 @@ EpochBreakdown DistTrainer::backward_exchange(int l,
           total_comm_bytes_ += pair_bytes[d][p];
           comm += cluster_.transfer_seconds(d, p, pair_bytes[d][p]);
         }
+      capture_sancus_pairs(pair_bytes);
       for (int d = 0; d < num_devices_; ++d) {
         const DeviceGraph& dev = dist_.devices[d];
         for (std::size_t h = dev.num_owned; h < dev.num_local(); ++h) {
@@ -991,8 +1017,8 @@ EpochBreakdown DistTrainer::adaqp_backward_layer(int l,
     deps.encode = marginal;     // halo rows are complete
     deps.accumulate = trace;    // owner's own owned-row writes are complete
     deps.zero = trace;          // last halo-row reader is done
-    pipeline::add_backward_exchange_stages(graph, dist_, grad_x, bwd_plans_[l],
-                                           acct, deps);
+    const pipeline::PairStages wire = pipeline::add_backward_exchange_stages(
+        graph, dist_, grad_x, bwd_plans_[l], acct, deps);
     // Shared parameter-gradient fold: one serial stage, concurrent with the
     // wire stages, in fixed device-then-subset order.
     std::vector<int> fold_deps(central.begin(), central.end());
@@ -1009,7 +1035,7 @@ EpochBreakdown DistTrainer::adaqp_backward_layer(int l,
                                              "central_sinks[" + dn + "]"));
       }
     }
-    graph.add(
+    const int fold_id = graph.add(
         prefix + "/fold",
         [this, &marginal_sinks, &central_sinks, l] {
           for (int d = 0; d < num_devices_; ++d) {
@@ -1018,6 +1044,16 @@ EpochBreakdown DistTrainer::adaqp_backward_layer(int l,
           }
         },
         fold_deps, std::move(fold_acc));
+    // Wire stages (per-pair encodes + owner accumulates) vs the compute
+    // running while they are in flight (central adjoints + the fold): the
+    // stage timestamps yield the realized backward overlap in the report.
+    for (const auto& row : wire.stage)
+      for (const int id : row)
+        if (id >= 0) fused_bwd_exchange_ids_[l].push_back(id);
+    for (const int id : wire.owner_stage)
+      if (id >= 0) fused_bwd_exchange_ids_[l].push_back(id);
+    fused_bwd_compute_ids_[l] = central;
+    fused_bwd_compute_ids_[l].push_back(fold_id);
     // Warm the quantized rounds' uniform staging (the 32-bit build-epoch
     // rounds never draw any) and the owner-side decode accumulators.
     acct.warm(dist_, bwd_plans_[l], /*forward=*/false, in_dim);
@@ -1034,6 +1070,9 @@ EpochBreakdown DistTrainer::adaqp_backward_layer(int l,
   pipeline::finalize_exchange_stats_into(acct, dist_, cluster_,
                                          stats_scratch_);
   total_comm_bytes_ += stats_scratch_.total_bytes();
+  capture_exchange_stats(stats_scratch_);
+  capture_overlap(*adaqp_bwd_graph_[l], fused_bwd_exchange_ids_[l],
+                  fused_bwd_compute_ids_[l], /*forward=*/false);
   // Modeled epoch time, same composition as before: central backward hides
   // inside the comm window, quantize kernels and marginal backward do not.
   const double central_s = max_compute_seconds(l, true, true);
@@ -1052,6 +1091,10 @@ double DistTrainer::join_pipegcn_forward(int l) {
   pipegcn_fwd_inflight_[l]->wait_into(stats_scratch_);
   pipegcn_fwd_active_[l] = 0;
   total_comm_bytes_ += stats_scratch_.total_bytes();
+  // Deferred traffic lands in the epoch row of the epoch that *joins* it
+  // (one after the submit); the end-of-run drain past the last epoch only
+  // feeds the global counters.
+  capture_exchange_stats(stats_scratch_);
   if (l == 0) last_layer1_pair_bytes_ = stats_scratch_.pair_bytes;
   pipegcn_joined_comm_[l] += stats_scratch_.comm_seconds;
   return stats_scratch_.comm_seconds;
@@ -1062,6 +1105,7 @@ double DistTrainer::join_pipegcn_backward(int l) {
   pipegcn_bwd_inflight_[l]->wait_into(stats_scratch_);
   pipegcn_bwd_active_[l] = 0;
   total_comm_bytes_ += stats_scratch_.total_bytes();
+  capture_exchange_stats(stats_scratch_);
   return stats_scratch_.comm_seconds;
 }
 
@@ -1072,6 +1116,74 @@ void DistTrainer::submit_pipegcn_forward(int l) {
   pipegcn_fwd_inflight_[l]->submit_forward(acts_[l], fwd_plans_[l],
                                            device_rngs_, async_pipeline_);
   pipegcn_fwd_active_[l] = 1;
+}
+
+void DistTrainer::capture_exchange_stats(const ExchangeStats& stats) {
+  obs::EpochRow* row = capture_.row(epoch_);
+  if (row == nullptr) return;
+  row->messages += stats.messages;
+  for (int d = 0; d < num_devices_; ++d)
+    for (int p = 0; p < num_devices_; ++p) {
+      const std::size_t bytes = stats.pair_bytes[d][p];
+      if (bytes == 0) continue;
+      const auto& by_width = stats.pair_width_bytes[d][p];
+      for (int w = 0; w < obs::kNumWidths; ++w)
+        row->wire_bytes[static_cast<std::size_t>(w)] +=
+            by_width[static_cast<std::size_t>(w)];
+      capture_.add_pair(epoch_, d, p, by_width, bytes);
+    }
+}
+
+void DistTrainer::capture_sancus_pairs(
+    const std::vector<std::vector<std::size_t>>& pair_bytes) {
+  // The serial broadcast loops bypass AsyncExchange, so feed the always-on
+  // exchange counters here too — one round, full-precision rows only, the
+  // 12-byte block header excluded from the by-width split.
+  const obs::Instruments& ins = obs::instruments();
+  const std::size_t w32 = static_cast<std::size_t>(obs::width_index(32));
+  obs::EpochRow* row = capture_.row(epoch_);
+  std::uint64_t messages = 0;
+  std::uint64_t payload = 0;
+  std::array<std::uint64_t, obs::kNumWidths> by_width{};
+  for (int d = 0; d < num_devices_; ++d)
+    for (int p = 0; p < num_devices_; ++p) {
+      const std::size_t bytes = pair_bytes[static_cast<std::size_t>(d)]
+                                          [static_cast<std::size_t>(p)];
+      if (bytes == 0) continue;
+      const std::uint64_t body = bytes > 12 ? bytes - 12 : 0;
+      messages += 1;
+      payload += body;
+      if (row != nullptr) {
+        by_width[w32] = body;
+        row->wire_bytes[w32] += body;
+        capture_.add_pair(epoch_, d, p, by_width, bytes);
+      }
+    }
+  if (messages == 0) return;
+  ins.exchange_rounds.add(1);
+  ins.exchange_messages.add(messages);
+  ins.exchange_wire_bytes[w32]->add(payload);
+  if (row != nullptr) row->messages += messages;
+}
+
+void DistTrainer::capture_overlap(const pipeline::StageGraph& graph,
+                                  const std::vector<int>& exchange_ids,
+                                  const std::vector<int>& compute_ids,
+                                  bool forward) {
+  obs::EpochRow* row = capture_.row(epoch_);
+  if (row == nullptr || exchange_ids.empty() || compute_ids.empty()) return;
+  // Stage timestamps into the pre-reserved interval scratch; the interval
+  // math mutates in place and never grows beyond the reserved capacity.
+  iv_exchange_.clear();
+  iv_compute_.clear();
+  for (const int id : exchange_ids)
+    iv_exchange_.emplace_back(graph.stage_begin_us(id),
+                              graph.stage_end_us(id));
+  for (const int id : compute_ids)
+    iv_compute_.emplace_back(graph.stage_begin_us(id),
+                             graph.stage_end_us(id));
+  obs::accumulate_overlap(iv_exchange_, iv_compute_,
+                          forward ? row->fwd_overlap : row->bwd_overlap);
 }
 
 void DistTrainer::refresh_plans() {
@@ -1116,19 +1228,27 @@ EpochRecord DistTrainer::train_epoch() {
   // docs/ARCHITECTURE.md "Memory subsystem").
   ws_.arena().reset();
 
+  // Wall-clock phase stamps (obs::Stopwatch clock) ride along with the
+  // allocation samples: modeled seconds (rec.time) and measured seconds
+  // (last_wall_) come from the same phase boundaries. Observational only —
+  // nothing below reads them back into the numerics.
+  const double w0 = obs::monotonic_us();
   const std::uint64_t a0 = memory::alloc_count();
   for (Param* p : params_) p->grad.set_zero();
   double loss = 0.0;
   EpochBreakdown fwd = forward_pass(/*training=*/true, &loss);
   const std::uint64_t a1 = memory::alloc_count();
+  const double w1 = obs::monotonic_us();
   EpochBreakdown bwd = backward_pass();
   const std::uint64_t a2 = memory::alloc_count();
+  const double w2 = obs::monotonic_us();
   rec.train_loss = loss;
 
   // Model-gradient synchronization (numerics already global; timing only).
   const double sync = allreduce_seconds(cluster_, grad_bytes_);
   adam_.step(params_);
   const std::uint64_t a3 = memory::alloc_count();
+  const double w3 = obs::monotonic_us();
 
   rec.time = fwd;
   rec.time.accumulate(bwd);
@@ -1145,6 +1265,7 @@ EpochRecord DistTrainer::train_epoch() {
       (epoch_ == 0 || (epoch_ + 1) % std::max(opts_.reassign_period, 1) == 0);
   if (refresh_now) refresh_plans();
   const std::uint64_t a4 = memory::alloc_count();
+  const double w4 = obs::monotonic_us();
 
   if (opts_.eval_every_epoch) {
     const auto [val, test] = evaluate();
@@ -1152,6 +1273,7 @@ EpochRecord DistTrainer::train_epoch() {
     rec.test_acc = test;
   }
   const std::uint64_t a5 = memory::alloc_count();
+  const double w5 = obs::monotonic_us();
 
   alloc_report_.forward = a1 - a0;
   alloc_report_.backward = a2 - a1;
@@ -1175,6 +1297,31 @@ EpochRecord DistTrainer::train_epoch() {
         " refresh=" + std::to_string(alloc_report_.refresh) +
         " evaluation=" + std::to_string(alloc_report_.evaluation) + "); " +
         std::string(memory::steady_state_definition()));
+  }
+  last_wall_.forward_s = (w1 - w0) * 1e-6;
+  last_wall_.backward_s = (w2 - w1) * 1e-6;
+  last_wall_.optimizer_s = (w3 - w2) * 1e-6;
+  last_wall_.refresh_s = (w4 - w3) * 1e-6;
+  last_wall_.evaluation_s = (w5 - w4) * 1e-6;
+  obs::instruments().trainer_epochs.add(1);
+  if (obs::EpochRow* row = capture_.row(epoch_)) {
+    // Exchange traffic and overlap accumulated into this row during the
+    // passes; the scalar epoch fields land here, all pre-allocated.
+    row->epoch = epoch_;
+    row->train_loss = rec.train_loss;
+    row->val_acc = rec.val_acc;
+    row->test_acc = rec.test_acc;
+    row->sim_comm_s = rec.time.comm;
+    row->sim_comp_s = rec.time.comp;
+    row->sim_quant_s = rec.time.quant;
+    row->sim_total_s = rec.time.total;
+    row->wall = last_wall_;
+    row->allocs_forward = alloc_report_.forward;
+    row->allocs_backward = alloc_report_.backward;
+    row->allocs_optimizer = alloc_report_.optimizer;
+    row->allocs_refresh = alloc_report_.refresh;
+    row->allocs_evaluation = alloc_report_.evaluation;
+    row->steady_state = alloc_report_.steady_state;
   }
   ++epoch_;
   return rec;
@@ -1232,6 +1379,18 @@ RunResult DistTrainer::run() {
   const std::string trace_path = env::text("ADAQP_TRACE").value_or("");
   if (!trace_path.empty()) pipeline::TraceRecorder::instance().start();
 
+  // ADAQP_METRICS=<path>: per-epoch run report (docs/OBSERVABILITY.md).
+  // All capture storage is dimensioned here, before the first epoch —
+  // steady-state epochs then record without allocating (test_memory gates
+  // this with the variable set).
+  const obs::ReportConfig metrics_cfg = obs::report_config();
+  if (metrics_cfg.enabled) {
+    capture_.init(opts_.epochs, num_devices_);
+    const std::size_t nd = static_cast<std::size_t>(num_devices_);
+    iv_exchange_.reserve(nd * nd + nd);   // pair stages + owner accumulates
+    iv_compute_.reserve(nd + 1);          // central stages + fold
+  }
+
   for (int e = 0; e < opts_.epochs; ++e) {
     EpochRecord rec = train_epoch();
     result.train_seconds += rec.time.total;
@@ -1282,6 +1441,25 @@ RunResult DistTrainer::run() {
   result.throughput =
       result.avg_epoch_seconds > 0 ? 1.0 / result.avg_epoch_seconds : 0.0;
   result.total_comm_bytes = total_comm_bytes_;
+
+  if (metrics_cfg.enabled) {
+    obs::ReportMeta meta;
+    meta.method = result.method;
+    meta.model = result.model;
+    meta.dataset = result.dataset;
+    meta.partition = result.partition_setting;
+    meta.devices = num_devices_;
+    meta.layers = num_layers_;
+    meta.threads = num_threads();
+    meta.async = async_pipeline_;
+    meta.epochs_requested = opts_.epochs;
+    meta.sim_train_seconds = result.train_seconds;
+    meta.assign_seconds = result.assign_seconds;
+    meta.total_comm_bytes = total_comm_bytes_;
+    if (!obs::write_report(capture_, meta, metrics_cfg))
+      std::fprintf(stderr, "[adaqp] could not write ADAQP_METRICS report %s\n",
+                   metrics_cfg.path.c_str());
+  }
   return result;
 }
 

@@ -61,6 +61,7 @@
 #include "gnn/adam.h"
 #include "gnn/model.h"
 #include "memory/workspace.h"
+#include "obs/run_report.h"
 #include "pipeline/async_exchange.h"
 #include "runtime/parallel_for.h"
 
@@ -171,8 +172,18 @@ class DistTrainer {
   /// Per-phase heap-allocation counts of the most recent train_epoch().
   const EpochAllocReport& last_alloc_report() const { return alloc_report_; }
 
+  /// Measured wall seconds of the most recent train_epoch(), stamped at the
+  /// same phase boundaries as the allocation report — the counterpart to
+  /// EpochRecord::time's *modeled* seconds (core/timing.h).
+  const obs::PhaseWall& last_wall_report() const { return last_wall_; }
+
   /// The trainer's scratch-memory subsystem (exposed for tests/benches).
   const memory::Workspace& workspace() const { return ws_; }
+
+  /// The metrics capture of the current/most recent run() (exposed for
+  /// tests). Disabled unless ADAQP_METRICS (or an obs::MetricsGuard) was
+  /// active when run() started.
+  const obs::RunCapture& run_capture() const { return capture_; }
 
  private:
   void refresh_plans();
@@ -224,6 +235,24 @@ class DistTrainer {
   /// reread or rewritten — one epoch after the submit.
   double join_pipegcn_forward(int l);
   double join_pipegcn_backward(int l);
+
+  /// Fold the halo-exchange stats just produced into the current epoch's
+  /// metrics row (messages, wire bytes split by bit-width, per-pair
+  /// volumes). No-op unless run() enabled capture. Purely observational:
+  /// writes pre-allocated capture storage only.
+  void capture_exchange_stats(const ExchangeStats& stats);
+  /// Same for the SANCUS serial broadcast loops, which bypass
+  /// AsyncExchange: every non-empty pair is one full-precision message of
+  /// pair_bytes[d][p] wire bytes (12-byte block header excluded from the
+  /// by-width attribution, like the AsyncExchange accounting).
+  void capture_sancus_pairs(
+      const std::vector<std::vector<std::size_t>>& pair_bytes);
+  /// Accumulate realized overlap between the fused AdaQP graph's exchange
+  /// stages and its central-compute stages (stage timestamps, no tracing)
+  /// into the current epoch row. Direction picks fwd_overlap/bwd_overlap.
+  void capture_overlap(const pipeline::StageGraph& graph,
+                       const std::vector<int>& exchange_ids,
+                       const std::vector<int>& compute_ids, bool forward);
   /// Submit layer l's deferred forward exchange (stale boundary rows of
   /// acts_[l]); it stays in flight across the iteration boundary.
   void submit_pipegcn_forward(int l);
@@ -306,6 +335,22 @@ class DistTrainer {
   EncodedBlock wire_block_;      ///< SANCUS serial wire staging
   std::vector<float> wire_uniforms_;
   EpochAllocReport alloc_report_;
+  obs::PhaseWall last_wall_;     ///< measured seconds of the last epoch
+
+  // ---- Observability capture (src/obs/, docs/OBSERVABILITY.md) ------------
+  // run() sizes capture_ (epochs x devices) and reserves the interval
+  // scratch before the first epoch when ADAQP_METRICS enables a report;
+  // every per-epoch write below then lands in pre-allocated storage, so
+  // capture runs through steady-state epochs without allocating. The stage
+  // ids are recorded once, at fused-graph build time (warmup epoch): the
+  // graphs are persistent, so the ids stay valid for the whole run.
+  obs::RunCapture capture_;
+  std::vector<std::vector<int>> fused_fwd_exchange_ids_;  ///< [layer]
+  std::vector<std::vector<int>> fused_fwd_compute_ids_;
+  std::vector<std::vector<int>> fused_bwd_exchange_ids_;
+  std::vector<std::vector<int>> fused_bwd_compute_ids_;
+  std::vector<obs::Interval> iv_exchange_;  ///< overlap scratch (reserved)
+  std::vector<obs::Interval> iv_compute_;
 
   // Loss scratch, resolved from ws_ at construction (the pool is not
   // thread-safe; device tasks only use the buffers they were handed).

@@ -19,10 +19,13 @@
 // src/pipeline/async_exchange.h and docs/ARCHITECTURE.md.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "comm/cluster.h"
 #include "dist/dist_graph.h"
+#include "obs/metrics.h"
 
 namespace adaqp {
 
@@ -46,6 +49,13 @@ struct ExchangePlan {
 struct ExchangeStats {
   /// Wire bytes device d sent to device p (codec output size).
   std::vector<std::vector<std::size_t>> pair_bytes;
+  /// pair_bytes split by bit-width tag (index = obs::width_index(bits):
+  /// 2, 4, 8, 32). Counts per-row tag + metadata + payload bytes; the
+  /// 12-byte block header appears only in the pair_bytes total.
+  std::vector<std::vector<std::array<std::uint64_t, obs::kNumWidths>>>
+      pair_width_bytes;
+  /// Non-empty pair blocks moved by this exchange.
+  std::uint64_t messages = 0;
   /// Straggler-synchronized ring-all2all time for pair_bytes.
   double comm_seconds = 0.0;
   /// Per-device quantize / de-quantize kernel time (zero for 32-bit

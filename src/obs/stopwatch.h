@@ -1,0 +1,130 @@
+// The one wall-clock idiom of the repo (docs/OBSERVABILITY.md).
+//
+// monotonic_us() is the process-wide timestamp source: microseconds since
+// the first call, read from std::chrono::steady_clock. Stage timestamps
+// (pipeline::StageGraph), the submit->join latency histograms, the trace
+// recorder's clock and the trainer's phase stopwatches all derive from it,
+// so every measured number in a run report is directly comparable. The
+// *model* side of the time story lives in core/timing.h (FLOPs -> seconds
+// under the ClusterSpec); the run report places the two side by side
+// (`sim_*` vs `wall_*` fields).
+//
+// IntervalSet arithmetic is the one interval implementation: the overlap
+// benches (bench_common.h delegates here) and the trainer's realized
+// overlap-efficiency capture both measure concurrency as the intersection
+// of busy-interval sets. The mutating forms below sort/collapse the
+// caller's buffers in place and never allocate, so the trainer can compute
+// overlap inside steady-state epochs (zero-allocation contract,
+// docs/ARCHITECTURE.md "Memory subsystem").
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace adaqp::obs {
+
+/// Microseconds since the first call in this process (monotonic).
+inline double monotonic_us() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+/// Minimal stopwatch over monotonic_us().
+class Stopwatch {
+ public:
+  Stopwatch() : start_us_(monotonic_us()) {}
+  void reset() { start_us_ = monotonic_us(); }
+  double elapsed_us() const { return monotonic_us() - start_us_; }
+  double elapsed_seconds() const { return elapsed_us() * 1e-6; }
+
+ private:
+  double start_us_;
+};
+
+/// One [begin_us, end_us) busy interval.
+using Interval = std::pair<double, double>;
+
+/// Sort + merge overlapping/adjacent intervals in place. No allocation
+/// (shrinking resize only). Empty and degenerate (end <= begin) intervals
+/// collapse away.
+inline void collapse_intervals(std::vector<Interval>& iv) {
+  if (iv.empty()) return;
+  std::sort(iv.begin(), iv.end());
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first > iv[out].second) {
+      iv[++out] = iv[i];
+    } else {
+      iv[out].second = std::max(iv[out].second, iv[i].second);
+    }
+  }
+  iv.resize(out + 1);
+}
+
+/// Seconds covered by an already-collapsed interval set (µs in, s out).
+inline double covered_seconds(const std::vector<Interval>& collapsed) {
+  double total = 0.0;
+  for (const auto& [b, e] : collapsed)
+    if (e > b) total += e - b;
+  return total * 1e-6;
+}
+
+/// Seconds covered by the union of [begin, end) µs intervals. Collapses
+/// `iv` in place; allocation-free.
+inline double interval_union_seconds(std::vector<Interval>& iv) {
+  collapse_intervals(iv);
+  return covered_seconds(iv);
+}
+
+/// Seconds where both interval sets are simultaneously active. Collapses
+/// both sets in place (two-pointer sweep afterwards); allocation-free.
+inline double interval_intersection_seconds(std::vector<Interval>& a,
+                                            std::vector<Interval>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  collapse_intervals(a);
+  collapse_intervals(b);
+  double total = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) total += hi - lo;
+    if (a[i].second < b[j].second)
+      ++i;
+    else
+      ++j;
+  }
+  return total * 1e-6;
+}
+
+/// Accumulated exchange||compute concurrency of one or more stage sets
+/// (the run report keeps one per direction per epoch). `efficiency()` is
+/// the overlap bench's definition: realized overlap over the smaller of
+/// the two busy times — 1.0 means the shorter side was fully hidden.
+struct OverlapAccum {
+  double exchange_busy_s = 0.0;
+  double compute_busy_s = 0.0;
+  double overlap_s = 0.0;
+
+  double efficiency() const {
+    const double denom = std::min(exchange_busy_s, compute_busy_s);
+    return denom > 0.0 ? overlap_s / denom : 0.0;
+  }
+};
+
+/// Fold one (exchange, compute) interval-set pair into `out`. Collapses
+/// both scratch sets in place; allocation-free. Layers of an epoch run
+/// disjoint in time, so summing per-layer unions equals the epoch union.
+inline void accumulate_overlap(std::vector<Interval>& exchange,
+                               std::vector<Interval>& compute,
+                               OverlapAccum& out) {
+  out.overlap_s += interval_intersection_seconds(exchange, compute);
+  out.exchange_busy_s += covered_seconds(exchange);
+  out.compute_busy_s += covered_seconds(compute);
+}
+
+}  // namespace adaqp::obs

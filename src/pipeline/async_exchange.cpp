@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "quant/quantize.h"
 #include "runtime/thread_pool.h"
 #include "simd/kernels.h"
 
@@ -36,6 +39,17 @@ std::size_t quantized_fp_bytes(std::span<const int> bits, std::size_t dim) {
   for (int b : bits)
     if (b != 32) ++rows;
   return rows * dim * sizeof(float);
+}
+
+/// Split a message's wire bytes by bit-width tag (per-row tag + metadata +
+/// payload; the 12-byte block header stays in the pair_bytes total only).
+void accumulate_width_bytes(
+    std::span<const int> bits, std::size_t dim,
+    std::array<std::uint64_t, obs::kNumWidths>& out) {
+  out.fill(0);
+  for (const int b : bits)
+    out[static_cast<std::size_t>(obs::width_index(b))] +=
+        1 + quantized_wire_bytes(dim, b);
 }
 
 std::string stage_name(const char* kind, int d, int p) {
@@ -78,6 +92,9 @@ void add_pair_slots(AccessList& out, ExchangeAccounting& acct, int d, int p,
   out.push_back(analysis::write_of(&acct.fp_bytes[d][p],
                                    sizeof(acct.fp_bytes[d][p]),
                                    tag + ".fp_bytes"));
+  out.push_back(analysis::write_of(&acct.pair_width_bytes[d][p],
+                                   sizeof(acct.pair_width_bytes[d][p]),
+                                   tag + ".pair_width_bytes"));
   out.push_back(analysis::write_of(&acct.pair_rngs[d][p],
                                    sizeof(acct.pair_rngs[d][p]),
                                    tag + ".rng"));
@@ -95,6 +112,9 @@ void ExchangeAccounting::init_storage(int n) {
   // steady-state exchange allocates nothing.
   pair_bytes.assign(n, std::vector<std::size_t>(n, 0));
   fp_bytes.assign(n, std::vector<std::size_t>(n, 0));
+  pair_width_bytes.assign(
+      n, std::vector<std::array<std::uint64_t, obs::kNumWidths>>(
+             n, std::array<std::uint64_t, obs::kNumWidths>{}));
   blocks.assign(n, std::vector<EncodedBlock>(n));
   uniforms.assign(n, std::vector<std::vector<float>>(n));
   pair_rngs.assign(n, std::vector<Rng>(n));
@@ -144,6 +164,8 @@ void ExchangeAccounting::init(int n, std::vector<Rng>& device_rngs) {
   } else {
     for (auto& row : pair_bytes) std::fill(row.begin(), row.end(), 0);
     for (auto& row : fp_bytes) std::fill(row.begin(), row.end(), 0);
+    for (auto& row : pair_width_bytes)
+      for (auto& slot : row) slot.fill(0);
     for (auto& row : blocks)
       for (auto& b : row) b.bytes.clear();
   }
@@ -208,6 +230,8 @@ PairStages add_forward_exchange_stages(StageGraph& graph,
             acct.pair_bytes[d][p] = acct.blocks[d][p].wire_bytes();
             acct.fp_bytes[d][p] =
                 quantized_fp_bytes(bits, locals[d].cols());
+            accumulate_width_bytes(bits, locals[d].cols(),
+                                   acct.pair_width_bytes[d][p]);
             decode_rows(acct.blocks[d][p], locals[p],
                         dist.devices[p].recv_local[d]);
           },
@@ -268,6 +292,8 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
             acct.pair_bytes[d][p] = acct.blocks[d][p].wire_bytes();
             acct.fp_bytes[d][p] =
                 quantized_fp_bytes(bits, grads[d].cols());
+            accumulate_width_bytes(bits, grads[d].cols(),
+                                   acct.pair_width_bytes[d][p]);
           },
           enc_deps, std::move(acc));
     }
@@ -374,6 +400,8 @@ void finalize_exchange_stats_into(const ExchangeAccounting& acct,
   // Same-shaped copy-assigns reuse the destination's capacity, so repeated
   // finalizes into the same stats object allocate nothing.
   stats.pair_bytes = acct.pair_bytes;
+  stats.pair_width_bytes = acct.pair_width_bytes;
+  stats.messages = 0;
   stats.quant_seconds.assign(n, 0.0);
   stats.dequant_seconds.assign(n, 0.0);
   stats.comm_seconds = 0.0;
@@ -389,6 +417,23 @@ void finalize_exchange_stats_into(const ExchangeAccounting& acct,
   if (n > 1)
     stats.comm_seconds =
         RingAllToAll(n).total_seconds(cluster, stats.pair_bytes);
+  // Global instruments: one round, its message count, and wire bytes by
+  // width. Purely observational — nothing reads these back.
+  const obs::Instruments& ins = obs::instruments();
+  std::array<std::uint64_t, obs::kNumWidths> width_total{};
+  for (int d = 0; d < n; ++d)
+    for (int p = 0; p < n; ++p) {
+      if (acct.pair_bytes[d][p] == 0) continue;
+      ++stats.messages;
+      for (int w = 0; w < obs::kNumWidths; ++w)
+        width_total[static_cast<std::size_t>(w)] +=
+            acct.pair_width_bytes[d][p][static_cast<std::size_t>(w)];
+    }
+  ins.exchange_rounds.add(1);
+  ins.exchange_messages.add(stats.messages);
+  for (int w = 0; w < obs::kNumWidths; ++w)
+    ins.exchange_wire_bytes[static_cast<std::size_t>(w)]->add(
+        width_total[static_cast<std::size_t>(w)]);
 }
 
 AsyncExchange::AsyncExchange(const DistGraph& dist, const ClusterSpec& cluster)
@@ -483,6 +528,7 @@ void AsyncExchange::resubmit(Kind kind, const void* data,
   submitted_ = true;
   finished_ = false;
   async_ = async;
+  submit_us_ = obs::monotonic_us();
   if (async_) graph_.launch();
 }
 
@@ -508,6 +554,11 @@ void AsyncExchange::wait_into(ExchangeStats& stats) {
     graph_.wait();
   else
     graph_.run_serial();
+  // Submit->join latency covers the full in-flight window — for deferred
+  // (cross-iteration) exchanges that is the whole overlap span, not just
+  // the blocked time inside this call.
+  obs::instruments().exchange_submit_to_join_us.record(obs::monotonic_us() -
+                                                       submit_us_);
   finalize_exchange_stats_into(acct_, dist_, cluster_, stats);
 }
 

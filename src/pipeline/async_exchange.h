@@ -51,6 +51,10 @@ struct PairStages {
 /// steady-state exchange performs no heap allocation after its first round.
 struct ExchangeAccounting {
   std::vector<std::vector<std::size_t>> pair_bytes;
+  /// pair_bytes split by bit-width tag (see ExchangeStats::pair_width_bytes
+  /// for the exact byte attribution). Written by the pair's encode stage.
+  std::vector<std::vector<std::array<std::uint64_t, obs::kNumWidths>>>
+      pair_width_bytes;
   std::vector<std::vector<std::size_t>> fp_bytes;
   std::vector<std::vector<Rng>> pair_rngs;
   std::vector<std::vector<EncodedBlock>> blocks;  ///< per-pair wire staging
@@ -213,6 +217,7 @@ class AsyncExchange {
   bool submitted_ = false;
   bool async_ = false;
   bool finished_ = false;
+  double submit_us_ = 0.0;  ///< resubmit() stamp for the join-latency histogram
 };
 
 }  // namespace adaqp::pipeline

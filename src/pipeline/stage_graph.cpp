@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
 #include "pipeline/trace.h"
 #include "runtime/thread_pool.h"
 
@@ -93,8 +95,21 @@ Event& StageGraph::stage_done(int id) {
   return nodes_[id].done;
 }
 
+double StageGraph::stage_begin_us(int id) const {
+  ADAQP_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
+  return nodes_[id].begin_us;
+}
+
+double StageGraph::stage_end_us(int id) const {
+  ADAQP_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
+  return nodes_[id].end_us;
+}
+
 void StageGraph::run_stage(std::size_t id) {
   Node& node = nodes_[id];
+  // Timestamps are stamped before finish_stage(): once the stage's Event is
+  // set the owner may read them (the Event mutex publishes the writes).
+  node.begin_us = obs::monotonic_us();
   {
     TraceSpan span(node.name, "stage");
     bool skip;
@@ -111,6 +126,8 @@ void StageGraph::run_stage(std::size_t id) {
       }
     }
   }
+  node.end_us = obs::monotonic_us();
+  obs::instruments().pipeline_stages.add(1);
   finish_stage(id);
 }
 

@@ -110,6 +110,16 @@ class StageGraph {
   /// Completion handle of one stage (valid until the graph is destroyed).
   Event& stage_done(int id);
 
+  /// Monotonic timestamps (obs::monotonic_us()) stamped around the last
+  /// execution of a stage. Always on (two clock reads per stage) — this is
+  /// what lets the trainer compute realized overlap efficiency without a
+  /// full trace. Valid only after the run has completed (wait() returned /
+  /// run_serial() done), which also provides the happens-before edge for
+  /// reading them; values are wall-clock and therefore nondeterministic,
+  /// observational only.
+  double stage_begin_us(int id) const;
+  double stage_end_us(int id) const;
+
   /// Submit all ready stages to the pool and return immediately. Call at
   /// most once per armed graph; follow with wait().
   void launch();
@@ -152,6 +162,8 @@ class StageGraph {
     analysis::AccessList accesses;
     int pending = 0;  ///< unfinished dependencies; guarded by mu_
     Event done;
+    double begin_us = 0.0;  ///< stamped by the executing thread; read after
+    double end_us = 0.0;    ///< the run joins (see stage_begin_us())
     std::vector<int> ready_scratch;  ///< finish_stage staging; this node only
   };
 

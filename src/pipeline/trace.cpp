@@ -1,12 +1,16 @@
 #include "pipeline/trace.h"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <utility>
+
+#include "obs/run_report.h"
+#include "obs/stopwatch.h"
 
 namespace adaqp::pipeline {
 
@@ -15,8 +19,23 @@ struct TraceRecorder::Impl {
   mutable std::mutex mu;
   std::vector<TraceEvent> events;
   std::map<std::thread::id, int> tids;
-  std::chrono::steady_clock::time_point origin =
-      std::chrono::steady_clock::now();
+  double origin_us = obs::monotonic_us();
+  // Intern table: strings live in the deque (stable addresses); the index
+  // keys are views into those same strings. Cleared by start().
+  std::deque<std::string> interned;
+  std::map<std::string_view, const std::string*> intern_index;
+
+  /// Pointer to the interned copy of `s`; copies only on first sight.
+  /// Caller holds mu.
+  const std::string* intern_locked(const std::string& s) {
+    if (const auto it = intern_index.find(std::string_view(s));
+        it != intern_index.end())
+      return it->second;
+    interned.push_back(s);
+    const std::string* stable = &interned.back();
+    intern_index.emplace(std::string_view(*stable), stable);
+    return stable;
+  }
 };
 
 TraceRecorder::TraceRecorder() : impl_(new Impl) {}
@@ -30,7 +49,9 @@ void TraceRecorder::start() {
   std::lock_guard<std::mutex> lk(impl_->mu);
   impl_->events.clear();
   impl_->tids.clear();
-  impl_->origin = std::chrono::steady_clock::now();
+  impl_->intern_index.clear();  // views into interned — clear first
+  impl_->interned.clear();
+  impl_->origin_us = obs::monotonic_us();
   impl_->enabled.store(true, std::memory_order_release);
 }
 
@@ -43,8 +64,9 @@ bool TraceRecorder::enabled() const {
 }
 
 double TraceRecorder::now_us() const {
-  const auto dt = std::chrono::steady_clock::now() - impl_->origin;
-  return std::chrono::duration<double, std::micro>(dt).count();
+  // Shares the process clock with every other obs timestamp; only the
+  // origin (start() time) is trace-local so Chrome traces begin near 0.
+  return obs::monotonic_us() - impl_->origin_us;
 }
 
 int TraceRecorder::thread_id() {
@@ -63,7 +85,11 @@ void TraceRecorder::record(const std::string& name,
   if (!enabled()) return;
   const int tid = thread_id();
   std::lock_guard<std::mutex> lk(impl_->mu);
-  impl_->events.push_back(TraceEvent{name, category, ts_us, dur_us, tid});
+  // Steady-state stage names repeat every epoch: after the first sighting
+  // this is two map lookups and a push_back — no string copies.
+  const std::string* n = impl_->intern_locked(name);
+  const std::string* c = impl_->intern_locked(category);
+  impl_->events.push_back(TraceEvent{n, c, ts_us, dur_us, tid});
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
@@ -78,17 +104,13 @@ std::size_t TraceRecorder::event_count() const {
 
 namespace {
 
-/// Minimal JSON string escape (stage names are ASCII identifiers, but stay
-/// safe for arbitrary input).
+/// JSON string escape, shared with the run-report writer: quotes,
+/// backslashes and all control characters (named short forms where JSON
+/// has them, \u00XX otherwise). Safe for arbitrary stage names.
 void write_escaped(std::FILE* f, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\')
-      std::fprintf(f, "\\%c", c);
-    else if (static_cast<unsigned char>(c) < 0x20)
-      std::fprintf(f, "\\u%04x", c);
-    else
-      std::fputc(c, f);
-  }
+  std::string buf;
+  obs::json_escape(s, buf);
+  std::fwrite(buf.data(), 1, buf.size(), f);
 }
 
 }  // namespace
@@ -101,9 +123,9 @@ bool TraceRecorder::write_json(const std::string& path) const {
   for (std::size_t i = 0; i < evs.size(); ++i) {
     const TraceEvent& e = evs[i];
     std::fputs("  {\"name\":\"", f);
-    write_escaped(f, e.name);
+    write_escaped(f, *e.name);
     std::fputs("\",\"cat\":\"", f);
-    write_escaped(f, e.category);
+    write_escaped(f, *e.category);
     std::fprintf(f,
                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
                  "\"dur\":%.3f}%s\n",

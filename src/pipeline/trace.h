@@ -13,6 +13,11 @@
 // JSON there. Event storage is a mutex-guarded vector — stages are
 // coarse-grained (one per device pair or per device per layer), so recording
 // overhead is irrelevant next to the kernels being traced.
+//
+// Name strings are interned: record() copies a name/category only on its
+// first occurrence and later events borrow the interned pointer, so
+// enabled-mode recording of a steady-state epoch costs one map lookup and
+// one push_back per span, never a per-event string copy.
 #pragma once
 
 #include <cstdint>
@@ -22,9 +27,11 @@
 namespace adaqp::pipeline {
 
 /// One completed span, microseconds relative to TraceRecorder::start().
+/// `name`/`category` point into the recorder's intern table — stable until
+/// the next TraceRecorder::start().
 struct TraceEvent {
-  std::string name;
-  std::string category;
+  const std::string* name = nullptr;
+  const std::string* category = nullptr;
   double ts_us = 0.0;
   double dur_us = 0.0;
   int tid = 0;
@@ -41,7 +48,8 @@ class TraceRecorder {
   void stop();
   bool enabled() const;
 
-  /// Record one completed span (no-op while disabled).
+  /// Record one completed span (no-op while disabled). `name` and
+  /// `category` are interned: copied on first occurrence, borrowed after.
   void record(const std::string& name, const std::string& category,
               double ts_us, double dur_us);
 

@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
 #include "quant/quantize.h"
 
 namespace adaqp {
@@ -52,6 +54,7 @@ void encode_rows_into(const Matrix& src, std::span<const NodeId> rows,
   ADAQP_CHECK_MSG(rows.size() == bits.size(),
                   "rows/bits arity mismatch: " << rows.size() << " vs "
                                                << bits.size());
+  const obs::Stopwatch sw;  // per-block, not per-row: two clock reads total
   out.bytes.clear();  // keeps capacity — steady-state encodes don't allocate
   out.bytes.reserve(encoded_wire_bytes(rows.size(), src.cols(), bits));  // lint:allow(hot-path-alloc) warmup sizing; no-op when warm
   put_u32(out.bytes, kMagic);
@@ -71,10 +74,15 @@ void encode_rows_into(const Matrix& src, std::span<const NodeId> rows,
     std::memcpy(out.bytes.data() + meta_at + sizeof(float), &meta.scale,
                 sizeof(float));
   }
+  const obs::Instruments& ins = obs::instruments();
+  ins.codec_encode_calls.add(1);
+  ins.codec_encode_bytes.add(out.bytes.size());
+  ins.codec_encode_ns.add(static_cast<std::uint64_t>(sw.elapsed_us() * 1e3));
 }
 
 void decode_rows(const EncodedBlock& block, Matrix& dst,
                  std::span<const NodeId> dst_rows) {
+  const obs::Stopwatch sw;
   std::span<const std::uint8_t> bytes(block.bytes);
   std::size_t pos = 0;
   ADAQP_CHECK_MSG(get_u32(bytes, pos) == kMagic, "codec: bad magic");
@@ -107,6 +115,10 @@ void decode_rows(const EncodedBlock& block, Matrix& dst,
   }
   ADAQP_CHECK_MSG(pos == bytes.size(),
                   "codec: " << bytes.size() - pos << " trailing bytes");
+  const obs::Instruments& ins = obs::instruments();
+  ins.codec_decode_calls.add(1);
+  ins.codec_decode_bytes.add(bytes.size());
+  ins.codec_decode_ns.add(static_cast<std::uint64_t>(sw.elapsed_us() * 1e3));
 }
 
 std::size_t encoded_wire_bytes(std::size_t num_rows, std::size_t dim,

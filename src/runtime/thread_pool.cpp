@@ -4,6 +4,7 @@
 #include "runtime/thread_pool.h"
 
 #include "common/env.h"
+#include "obs/metrics.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -81,6 +82,8 @@ struct ThreadPool::Impl {
     detached[(detached_head + detached_count) % detached.size()] =
         std::move(fn);
     ++detached_count;
+    obs::instruments().pool_detached_depth.set(
+        static_cast<std::int64_t>(detached_count));
   }
 
   /// Claim and run tasks until the slot's ticket counter runs dry; account
@@ -105,6 +108,7 @@ struct ThreadPool::Impl {
       }
       ++done_here;
     }
+    if (done_here > 0) obs::instruments().pool_tasks.add(done_here);
     {
       std::lock_guard<std::mutex> lk(mu);
       --batch.inside;
@@ -121,6 +125,8 @@ struct ThreadPool::Impl {
     detached[detached_head] = nullptr;  // drop any residual target
     detached_head = (detached_head + 1) % detached.size();
     --detached_count;
+    obs::instruments().pool_detached_depth.set(
+        static_cast<std::int64_t>(detached_count));
     return fn;
   }
 
@@ -166,6 +172,7 @@ struct ThreadPool::Impl {
       fn();
     } catch (...) {
     }
+    obs::instruments().pool_detached_tasks.add(1);
     return true;
   }
 };
@@ -205,6 +212,7 @@ void ThreadPool::run(std::size_t num_tasks, RawTask fn, void* ctx) {
     // Inline path: exceptions propagate directly; a nested call never
     // touches the pool state, so outer batches are unaffected.
     for (std::size_t i = 0; i < num_tasks; ++i) fn(i, ctx);
+    obs::instruments().pool_tasks.add(num_tasks);
     return;
   }
   Impl* im = impl_;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "core/trainer.h"
 #include "memory/alloc_track.h"
 #include "memory/workspace.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "pipeline/config.h"
 #include "runtime/thread_pool.h"
 
@@ -288,6 +291,67 @@ TEST(SteadyState, EvaluationEpochsAreExcludedFromTheContract) {
   trainer.train_epoch();
   trainer.train_epoch();
   EXPECT_FALSE(trainer.last_alloc_report().steady_state);
+}
+
+/// Metrics capture must not weaken the contract: with ADAQP_METRICS active
+/// (capture storage dimensioned up front in run(), every later write landing
+/// in pre-allocated rows), warm epochs still allocate nothing — and the
+/// capture itself records that fact per epoch.
+TEST(SteadyState, MetricsCaptureKeepsWarmEpochsAllocationFree) {
+  Rng rng(15);
+  const Dataset ds = make_dataset(steady_spec(), rng);
+  Rng prng(4242);
+  const auto part = MultilevelPartitioner().partition(ds.graph, 4, prng);
+  const DistGraph dist = build_dist_graph(ds.graph, part);
+  const ClusterSpec cluster = ClusterSpec::machines(2, 2);
+  AsyncModeGuard async_guard(true);
+  ThreadCountGuard thread_guard(4);
+  ModelConfig mc;
+  mc.aggregator = Aggregator::kGcn;
+  mc.in_dim = ds.spec.feature_dim;
+  mc.hidden_dim = 16;
+  mc.out_dim = ds.num_classes();
+  mc.num_layers = 3;
+  mc.dropout = 0.3f;
+  TrainOptions opts;
+  opts.method = Method::kAdaQP;
+  opts.epochs = 5;
+  opts.seed = 7;
+  opts.reassign_period = 1 << 20;  // refresh only at epoch 0
+  opts.eval_every_epoch = false;   // steady-state contract requirement
+  DistTrainer trainer(ds, dist, cluster, mc, opts);
+
+  const std::string path = ::testing::TempDir() + "adaqp_steady_metrics.json";
+  {
+    obs::MetricsGuard guard(path);
+    trainer.run();
+  }
+
+  const obs::RunCapture& cap = trainer.run_capture();
+  ASSERT_TRUE(cap.enabled());
+  ASSERT_EQ(cap.captured_epochs(), opts.epochs);
+  const bool contract_active = !analysis::racecheck_enabled();
+  for (int e = 1; e < opts.epochs; ++e) {
+    const obs::EpochRow& row = cap.row_at(e);
+    if (!contract_active) {
+      EXPECT_FALSE(row.steady_state);
+      continue;
+    }
+    EXPECT_TRUE(row.steady_state)
+        << "epoch " << e << " lost steady state under metrics capture";
+    EXPECT_EQ(row.allocs_forward + row.allocs_backward + row.allocs_optimizer +
+                  row.allocs_refresh + row.allocs_evaluation,
+              0u)
+        << "epoch " << e << " allocated while metrics capture was active:"
+        << " forward=" << row.allocs_forward
+        << " backward=" << row.allocs_backward
+        << " optimizer=" << row.allocs_optimizer
+        << " refresh=" << row.allocs_refresh
+        << " evaluation=" << row.allocs_evaluation;
+  }
+  // The shutdown export still ran.
+  std::ifstream report(path);
+  EXPECT_TRUE(report.good());
 }
 
 }  // namespace

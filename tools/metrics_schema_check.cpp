@@ -1,0 +1,391 @@
+// Validates an ADAQP_METRICS JSON run report against the adaqp-metrics-v1
+// schema (src/obs/run_report.h). Self-contained: a minimal recursive-descent
+// JSON parser plus structural assertions — no library dependency, so the
+// checker cannot inherit a serializer bug from the code it validates.
+//
+//   ./metrics_schema_check <report.json>
+//
+// Exit 0 with a one-line summary when the report is schema-valid; exit 1
+// with the first violation otherwise. scripts/bench.sh and CI run this on
+// every report they produce.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser
+// ---------------------------------------------------------------------------
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject } type = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("parse error at byte " + std::to_string(pos_) +
+                             ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  ValuePtr value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return literal("true", Value::kBool, true);
+      case 'f': return literal("false", Value::kBool, false);
+      case 'n': return literal("null", Value::kNull, false);
+      default: return number();
+    }
+  }
+
+  ValuePtr literal(const char* word, Value::Type type, bool b) {
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+    auto v = std::make_shared<Value>();
+    v->type = type;
+    v->boolean = b;
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // Reports only ever escape ASCII control chars; keep it simple.
+          out += static_cast<char>(code & 0x7f);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    return out;
+  }
+
+  ValuePtr string_value() {
+    auto v = std::make_shared<Value>();
+    v->type = Value::kString;
+    v->str = parse_string();
+    return v;
+  }
+
+  ValuePtr number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    auto v = std::make_shared<Value>();
+    v->type = Value::kNumber;
+    try {
+      v->number = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  ValuePtr array() {
+    expect('[');
+    auto v = std::make_shared<Value>();
+    v->type = Value::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v->array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      break;
+    }
+    return v;
+  }
+
+  ValuePtr object() {
+    expect('{');
+    auto v = std::make_shared<Value>();
+    v->type = Value::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v->object[key] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema assertions
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void violation(const std::string& what) {
+  throw std::runtime_error("schema violation: " + what);
+}
+
+const Value& field(const Value& obj, const std::string& key,
+                   const std::string& where) {
+  if (obj.type != Value::kObject) violation(where + " is not an object");
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) violation(where + " is missing \"" + key + "\"");
+  return *it->second;
+}
+
+double num_field(const Value& obj, const std::string& key,
+                 const std::string& where) {
+  const Value& v = field(obj, key, where);
+  // Serializer writes null for non-finite doubles; accept it as a number
+  // slot (the value is unusable but the shape is valid).
+  if (v.type == Value::kNull) return 0.0;
+  if (v.type != Value::kNumber)
+    violation(where + "." + key + " is not a number");
+  return v.number;
+}
+
+void require_keys(const Value& obj, std::initializer_list<const char*> keys,
+                  const std::string& where) {
+  for (const char* k : keys) (void)field(obj, k, where);
+}
+
+const char* const kWidthKeys[] = {"b2", "b4", "b8", "b32"};
+
+void check_width_object(const Value& v, const std::string& where) {
+  if (v.type != Value::kObject) violation(where + " is not an object");
+  for (const char* k : kWidthKeys) num_field(v, k, where);
+  if (v.object.size() != 4) violation(where + " must have exactly 4 widths");
+}
+
+void check_overlap(const Value& v, const std::string& where) {
+  require_keys(v, {"exchange_busy_s", "compute_busy_s", "overlap_s"}, where);
+  num_field(v, "exchange_busy_s", where);
+  num_field(v, "compute_busy_s", where);
+  num_field(v, "overlap_s", where);
+  const double eff = num_field(v, "efficiency", where);
+  if (eff < 0.0 || eff > 1.0 + 1e-9)
+    violation(where + ".efficiency out of [0, 1]: " + std::to_string(eff));
+}
+
+void check_epoch(const Value& e, int index) {
+  const std::string where = "epochs[" + std::to_string(index) + "]";
+  num_field(e, "epoch", where);
+  num_field(e, "train_loss", where);
+
+  const Value& sim = field(e, "sim", where);
+  for (const char* k : {"comm_s", "comp_s", "quant_s", "total_s"})
+    num_field(sim, k, where + ".sim");
+
+  const Value& wall = field(e, "wall", where);
+  for (const char* k : {"forward_s", "backward_s", "optimizer_s", "refresh_s",
+                        "evaluation_s", "total_s"})
+    if (num_field(wall, k, where + ".wall") < 0.0)
+      violation(where + ".wall." + k + " is negative");
+
+  const Value& allocs = field(e, "allocs", where);
+  for (const char* k :
+       {"forward", "backward", "optimizer", "refresh", "evaluation"})
+    num_field(allocs, k, where + ".allocs");
+  if (field(allocs, "steady_state", where + ".allocs").type != Value::kBool)
+    violation(where + ".allocs.steady_state is not a bool");
+
+  const Value& exchange = field(e, "exchange", where);
+  num_field(exchange, "messages", where + ".exchange");
+  check_width_object(field(exchange, "wire_bytes", where + ".exchange"),
+                     where + ".exchange.wire_bytes");
+
+  const Value& overlap = field(e, "overlap", where);
+  check_overlap(field(overlap, "forward", where + ".overlap"),
+                where + ".overlap.forward");
+  check_overlap(field(overlap, "backward", where + ".overlap"),
+                where + ".overlap.backward");
+
+  const Value& pairs = field(e, "pairs", where);
+  if (pairs.type != Value::kArray) violation(where + ".pairs is not an array");
+  for (std::size_t p = 0; p < pairs.array.size(); ++p) {
+    const Value& pair = *pairs.array[p];
+    const std::string pw = where + ".pairs[" + std::to_string(p) + "]";
+    num_field(pair, "src", pw);
+    num_field(pair, "dst", pw);
+    num_field(pair, "messages", pw);
+    num_field(pair, "bytes", pw);
+    check_width_object(field(pair, "by_width", pw), pw + ".by_width");
+  }
+}
+
+struct Summary {
+  int epochs = 0;
+  double wire_bytes = 0.0;
+  double messages = 0.0;
+};
+
+Summary check_report(const Value& root) {
+  if (root.type != Value::kObject) violation("top level is not an object");
+  const Value& schema = field(root, "schema", "report");
+  if (schema.type != Value::kString || schema.str != "adaqp-metrics-v1")
+    violation("schema is not \"adaqp-metrics-v1\"");
+  for (const char* k : {"method", "model", "dataset", "partition"})
+    if (field(root, k, "report").type != Value::kString)
+      violation(std::string("report.") + k + " is not a string");
+  for (const char* k : {"devices", "layers", "threads", "epochs_requested",
+                        "epochs_captured", "sim_train_seconds",
+                        "assign_seconds", "total_comm_bytes"})
+    num_field(root, k, "report");
+  if (field(root, "async", "report").type != Value::kBool)
+    violation("report.async is not a bool");
+
+  const Value& epochs = field(root, "epochs", "report");
+  if (epochs.type != Value::kArray) violation("report.epochs is not an array");
+  if (epochs.array.empty()) violation("report.epochs is empty");
+  if (static_cast<int>(epochs.array.size()) !=
+      static_cast<int>(num_field(root, "epochs_captured", "report")))
+    violation("epochs_captured does not match epochs array length");
+
+  Summary sum;
+  for (std::size_t i = 0; i < epochs.array.size(); ++i) {
+    check_epoch(*epochs.array[i], static_cast<int>(i));
+    const Value& ex = field(*epochs.array[i], "exchange", "epoch");
+    sum.messages += num_field(ex, "messages", "epoch.exchange");
+    const Value& wb = field(ex, "wire_bytes", "epoch.exchange");
+    for (const char* k : kWidthKeys)
+      sum.wire_bytes += num_field(wb, k, "epoch.exchange.wire_bytes");
+  }
+  sum.epochs = static_cast<int>(epochs.array.size());
+
+  for (const char* k : {"counters", "gauges", "histograms"})
+    if (field(root, k, "report").type != Value::kObject)
+      violation(std::string("report.") + k + " is not an object");
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <report.json>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "metrics_schema_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  try {
+    Parser parser(text);
+    const Summary sum = check_report(*parser.parse());
+    std::printf(
+        "metrics_schema_check: OK %s (%d epochs, %.0f messages, %.0f wire "
+        "bytes)\n",
+        argv[1], sum.epochs, sum.messages, sum.wire_bytes);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metrics_schema_check: %s: %s\n", argv[1], e.what());
+    return 1;
+  }
+}
