@@ -19,6 +19,11 @@
 #   THREAD_COUNTS      sweep for table7 (default: "1 4 8")
 #   BENCH_TABLE4_FULL  set to 1 for the full table4 sweep (default: --quick)
 #   BENCH_OVERLAP_FULL set to 1 for the full overlap bench (default: --quick)
+#   PROFILE_GATE       profile_report regression gate: hard (default, abort
+#                      the run past thresholds) | warn (report only)
+#   PROFILE_MAX_WALL_REGRESS_PCT   gate threshold, wall growth % (default 50)
+#   PROFILE_MAX_SHARE_REGRESS_PP   gate threshold, category-share growth in
+#                                  percentage points (default 15)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,16 +41,24 @@ if [[ ! -x "$BUILD_DIR/bench_table4_main" ||
       ! -x "$BUILD_DIR/bench_alloc_steady_state" ||
       ! -x "$BUILD_DIR/bench_aggregate_kernels" ||
       ! -x "$BUILD_DIR/metrics_schema_check" ||
+      ! -x "$BUILD_DIR/profile_report" ||
       ! -x "$BUILD_DIR/isa_info" ]]; then
   cmake -B "$BUILD_DIR" -S . >/dev/null
   cmake --build "$BUILD_DIR" -j \
     --target bench_table4_main bench_table7_scalability \
              bench_pipeline_overlap bench_alloc_steady_state \
-             bench_aggregate_kernels metrics_schema_check isa_info >/dev/null
+             bench_aggregate_kernels metrics_schema_check profile_report \
+             isa_info >/dev/null
 fi
 
 # SIMD ISA the kernel registry dispatches to for this run (honors ADAQP_ISA).
 SIMD_ISA=$("./$BUILD_DIR/isa_info" 2>/dev/null || echo unknown)
+
+# Host hardware threads, stamped next to every wall/overlap/speedup entry so
+# a reader (or tools/profile_report) can tell real concurrency from
+# time-slicing. low_par <requested> prints the machine-readable flag.
+HOST_THREADS=$(nproc)
+low_par() { [[ "$HOST_THREADS" -lt "$1" ]] && echo true || echo false; }
 
 mkdir -p bench/out
 
@@ -80,7 +93,7 @@ run_bench() {
   ADAQP_THREADS=$threads "./$BUILD_DIR/$name" "$@" >/dev/null 2>&1
   t1=$(now)
   wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
-  append_entry "{\"bench\":\"$name\",\"threads\":$threads,\"wall_seconds\":$wall,\"results\":[$(csv_rows "bench/out/$csv" "$dc" "$mc" "$tc")]}"
+  append_entry "{\"bench\":\"$name\",\"threads\":$threads,\"host_hardware_threads\":$HOST_THREADS,\"low_parallelism_host\":$(low_par "$threads"),\"wall_seconds\":$wall,\"results\":[$(csv_rows "bench/out/$csv" "$dc" "$mc" "$tc")]}"
 }
 
 declare -A table7_wall
@@ -105,7 +118,7 @@ ADAQP_THREADS=$(nproc) ADAQP_METRICS="$METRICS_REPORT" \
 t1=$(now)
 overlap_wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
 ocsv=bench/out/pipeline_overlap.csv
-append_entry "{\"bench\":\"bench_pipeline_overlap\",\"threads\":$(nproc),\"wall_seconds\":$overlap_wall,\"overlap_efficiency\":$(metric_value "$ocsv" "measured overlap efficiency"),\"sync_over_async_speedup\":$(metric_value "$ocsv" "wall speedup sync/async")}"
+append_entry "{\"bench\":\"bench_pipeline_overlap\",\"threads\":$(nproc),\"host_hardware_threads\":$HOST_THREADS,\"low_parallelism_host\":$(low_par "$(nproc)"),\"wall_seconds\":$overlap_wall,\"overlap_efficiency\":$(metric_value "$ocsv" "measured overlap efficiency"),\"sync_over_async_speedup\":$(metric_value "$ocsv" "wall speedup sync/async")}"
 
 echo "[bench.sh] metrics_schema_check $METRICS_REPORT ..." >&2
 "./$BUILD_DIR/metrics_schema_check" "$METRICS_REPORT" >&2
@@ -128,20 +141,63 @@ for e in epochs:
     fwd_eff.append(ov.get("forward", {}).get("efficiency", 0.0))
     bwd_eff.append(ov.get("backward", {}).get("efficiency", 0.0))
 mean = lambda xs: round(sum(xs) / len(xs), 4) if xs else 0.0
-print(json.dumps({
+summary = {
     "schema": doc.get("schema"),
     "method": doc.get("method"),
     "dataset": doc.get("dataset"),
     "epochs_captured": doc.get("epochs_captured"),
+    "hardware_threads": doc.get("hardware_threads"),
+    "low_parallelism_host": doc.get("low_parallelism_host"),
     "messages": messages,
     "wire_bytes": wire,
     "mean_fwd_overlap_efficiency": mean(fwd_eff),
     "mean_bwd_overlap_efficiency": mean(bwd_eff),
-}))
+}
+# Condensed adaqp-profile-v1 summary: warm-epoch means (matching what
+# tools/profile_report computes), so the BENCH_runtime.json history doubles
+# as the regression-gate baseline.
+prof_epochs = doc.get("profile", {}).get("epochs", [])
+warm = [e for e in prof_epochs if e.get("epoch", 0) > 0] or prof_epochs
+if warm:
+    n = len(warm)
+    pmean = lambda key: round(sum(e.get(key, 0.0) for e in warm) / n, 9)
+    attribution = {}
+    for e in warm:
+        for k, v in e.get("attribution", {}).items():
+            attribution[k] = attribution.get(k, 0.0) + v
+    summary["profile"] = {
+        "epochs": n,
+        "mean_attributed_wall_s": pmean("attributed_wall_s"),
+        "mean_critical_path_s": pmean("critical_path_s"),
+        "mean_zero_wire_s": round(
+            sum(e.get("what_if", {}).get("zero_wire_s", 0.0)
+                for e in warm) / n, 9),
+        "mean_infinite_thread_s": round(
+            sum(e.get("what_if", {}).get("infinite_thread_s", 0.0)
+                for e in warm) / n, 9),
+        "attribution_s": {k: round(v / n, 9) for k, v in attribution.items()},
+    }
+print(json.dumps(summary))
 PY
 )
 fi
 append_entry "{\"bench\":\"metrics_report\",\"report\":\"$METRICS_REPORT\",\"schema_valid\":true,\"summary\":$metrics_summary}"
+
+# Perf-regression gate (docs/OBSERVABILITY.md): compare this run's profile
+# against the newest profiled run already in $OUT. Runs before the new
+# record is appended, so the baseline is genuinely the previous trajectory
+# point. PROFILE_GATE=warn downgrades a breach to a report (CI does this on
+# 1-core runners, where attribution shares are dominated by time-slicing).
+if [[ -f "$OUT" ]]; then
+  echo "[bench.sh] profile_report gate ($METRICS_REPORT vs $OUT) ..." >&2
+  gate_args=(--max-wall-regress-pct "${PROFILE_MAX_WALL_REGRESS_PCT:-50}"
+             --max-share-regress-pp "${PROFILE_MAX_SHARE_REGRESS_PP:-15}")
+  [[ "${PROFILE_GATE:-hard}" == "warn" ]] && gate_args+=(--warn-only)
+  "./$BUILD_DIR/profile_report" "$METRICS_REPORT" "$OUT" "${gate_args[@]}" >&2
+else
+  echo "[bench.sh] profile_report (no $OUT history yet — summary only) ..." >&2
+  "./$BUILD_DIR/profile_report" "$METRICS_REPORT" >&2
+fi
 
 # Zero-allocation steady state (docs/ARCHITECTURE.md, "Memory subsystem"):
 # every method x async mode x thread count must finish its warm epochs with

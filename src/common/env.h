@@ -20,6 +20,7 @@
 //   ADAQP_ALLOC_TRACK  src/memory/alloc_track.cpp  env::flag01
 //   ADAQP_METRICS    src/obs/metrics.cpp           env::text
 //   ADAQP_METRICS_FORMAT  src/obs/metrics.cpp      env::text
+//   ADAQP_PROFILE    src/obs/profile.cpp           env::flag01
 #pragma once
 
 #include <optional>

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "analysis/race_checker.h"
 #include "common/check.h"
@@ -618,9 +619,11 @@ EpochBreakdown DistTrainer::adaqp_forward_layer(int l, bool training) {
 
   total_comm_bytes_ += stats_scratch_.total_bytes();
   capture_exchange_stats(stats_scratch_);
-  if (adaqp_fwd_graph_[l])
+  if (adaqp_fwd_graph_[l]) {
     capture_overlap(*adaqp_fwd_graph_[l], fused_fwd_exchange_ids_[l],
                     fused_fwd_compute_ids_[l], /*forward=*/true);
+    capture_profile_segment(*adaqp_fwd_graph_[l], l, /*forward=*/true);
+  }
   if (l == 0) last_layer1_pair_bytes_ = stats_scratch_.pair_bytes;
   // Modeled epoch time: central compute hides inside communication, the
   // quantize / de-quantize kernels and marginal compute do not (Fig. 10a).
@@ -1073,6 +1076,7 @@ EpochBreakdown DistTrainer::adaqp_backward_layer(int l,
   capture_exchange_stats(stats_scratch_);
   capture_overlap(*adaqp_bwd_graph_[l], fused_bwd_exchange_ids_[l],
                   fused_bwd_compute_ids_[l], /*forward=*/false);
+  capture_profile_segment(*adaqp_bwd_graph_[l], l, /*forward=*/false);
   // Modeled epoch time, same composition as before: central backward hides
   // inside the comm window, quantize kernels and marginal backward do not.
   const double central_s = max_compute_seconds(l, true, true);
@@ -1184,6 +1188,60 @@ void DistTrainer::capture_overlap(const pipeline::StageGraph& graph,
                              graph.stage_end_us(id));
   obs::accumulate_overlap(iv_exchange_, iv_compute_,
                           forward ? row->fwd_overlap : row->bwd_overlap);
+}
+
+void DistTrainer::capture_profile_segment(const pipeline::StageGraph& graph,
+                                          int layer, bool forward) {
+  obs::ProfileCapture& prof = capture_.profile();
+  obs::SegmentProfile* seg = prof.segment(epoch_, layer, forward);
+  if (seg == nullptr) return;
+  // Rebuild the executed graph inside the pre-sized DAG scratch: names,
+  // timestamps and declared dependency edges, plus this layer-epoch's
+  // modeled quantize : comm : dequantize split so the fused exchange
+  // stages can be attributed across encode/wire/decode. stats_scratch_
+  // holds exactly this segment's exchange stats (finalized just before).
+  obs::ProfileDag& dag = prof.dag();
+  dag.clear();
+  dag.set_exchange_model(stats_scratch_.max_quant_seconds(),
+                         stats_scratch_.comm_seconds,
+                         stats_scratch_.max_dequant_seconds());
+  const int n = static_cast<int>(graph.size());
+  for (int id = 0; id < n; ++id) {
+    const std::string& name = graph.stage_name(id);
+    dag.add_stage(&name, name, graph.stage_begin_us(id),
+                  graph.stage_end_us(id));
+  }
+  for (int id = 0; id < n; ++id)
+    for (const int dep : graph.stage_deps(id)) dag.add_dep(id, dep);
+  seg->layer = layer;
+  seg->forward = forward;
+  dag.compute(*seg, prof.pair_seconds(epoch_), num_devices_);
+
+  // With a trace active, draw the segment's critical path as flow arrows
+  // between the recorded stage spans (trace-enabled epochs are outside the
+  // steady-state contract, so the recorder may allocate).
+  pipeline::TraceRecorder& rec = pipeline::TraceRecorder::instance();
+  if (!rec.enabled()) return;
+  const int cp = std::min(seg->cp_stages, obs::kMaxCpStages);
+  for (int i = 0; i + 1 < cp; ++i) {
+    const std::string* from = seg->cp_names[static_cast<std::size_t>(i)];
+    const std::string* to = seg->cp_names[static_cast<std::size_t>(i + 1)];
+    if (from == nullptr || to == nullptr) continue;
+    // Anchor each endpoint at the midpoint of its stage span so the flow
+    // binds inside the recorded slice regardless of rounding.
+    int from_id = -1;
+    int to_id = -1;
+    for (int id = 0; id < n; ++id) {
+      if (&graph.stage_name(id) == from) from_id = id;
+      if (&graph.stage_name(id) == to) to_id = id;
+    }
+    if (from_id < 0 || to_id < 0) continue;
+    const double from_mid = rec.trace_ts(
+        0.5 * (graph.stage_begin_us(from_id) + graph.stage_end_us(from_id)));
+    const double to_mid = rec.trace_ts(
+        0.5 * (graph.stage_begin_us(to_id) + graph.stage_end_us(to_id)));
+    rec.record_flow(*from, from_mid, *to, to_mid);
+  }
 }
 
 void DistTrainer::refresh_plans() {
@@ -1323,6 +1381,20 @@ EpochRecord DistTrainer::train_epoch() {
     row->allocs_evaluation = alloc_report_.evaluation;
     row->steady_state = alloc_report_.steady_state;
   }
+  // Profiler phase walls: the rollup decomposes forward+backward+optimizer
+  // into critical-path categories + scheduling + serial glue. No-op unless
+  // run() armed the profiler; writes pre-allocated storage only.
+  capture_.profile().set_epoch_phases(epoch_, last_wall_.forward_s,
+                                      last_wall_.backward_s,
+                                      last_wall_.optimizer_s);
+  // With a trace active, sample every registry counter/gauge once per epoch
+  // so wire bytes and message counts render as counter tracks next to the
+  // stage spans (trace-enabled epochs are outside the steady-state
+  // contract).
+  if (pipeline::TraceRecorder::instance().enabled()) {
+    pipeline::TraceRecorder& rec_tr = pipeline::TraceRecorder::instance();
+    rec_tr.record_registry_counters(rec_tr.now_us());
+  }
   ++epoch_;
   return rec;
 }
@@ -1389,6 +1461,16 @@ RunResult DistTrainer::run() {
     const std::size_t nd = static_cast<std::size_t>(num_devices_);
     iv_exchange_.reserve(nd * nd + nd);   // pair stages + owner accumulates
     iv_compute_.reserve(nd + 1);          // central stages + fold
+    // ADAQP_PROFILE (default on with metrics): critical-path profile rows
+    // plus the shared DAG scratch, sized for the largest fused layer graph
+    // — nd^2 pair stages, a handful of per-device stages, the fold — so
+    // per-epoch capture stays allocation-free.
+    if (obs::profile_enabled()) {
+      const int max_stages = static_cast<int>(nd * nd + 6 * nd + 8);
+      const int max_deps = max_stages * static_cast<int>(nd + 4);
+      capture_.profile().init(opts_.epochs, num_layers_, num_devices_,
+                              max_stages, max_deps);
+    }
   }
 
   for (int e = 0; e < opts_.epochs; ++e) {
@@ -1451,6 +1533,14 @@ RunResult DistTrainer::run() {
     meta.devices = num_devices_;
     meta.layers = num_layers_;
     meta.threads = num_threads();
+    // Host parallelism next to every overlap/speedup figure: hw threads <
+    // requested threads means the schedule was oversubscribed and realized
+    // overlap reflects time-slicing, not parallel hardware (machine-
+    // readable form of the ROADMAP's measurement-gap caveat).
+    meta.hardware_threads =
+        static_cast<int>(std::thread::hardware_concurrency());
+    meta.low_parallelism_host =
+        meta.hardware_threads > 0 && meta.hardware_threads < meta.threads;
     meta.async = async_pipeline_;
     meta.epochs_requested = opts_.epochs;
     meta.sim_train_seconds = result.train_seconds;

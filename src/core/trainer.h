@@ -253,6 +253,15 @@ class DistTrainer {
   void capture_overlap(const pipeline::StageGraph& graph,
                        const std::vector<int>& exchange_ids,
                        const std::vector<int>& compute_ids, bool forward);
+  /// Feed one executed fused layer graph into the critical-path profiler
+  /// (obs/profile.h): every stage's name, timestamps and declared deps go
+  /// into the pre-sized DAG scratch, the exchange split model comes from
+  /// stats_scratch_, and the solved SegmentProfile lands in the profile
+  /// rows of the current epoch. With ADAQP_TRACE active it also emits
+  /// Chrome-trace flow arrows along the segment's critical path. No-op
+  /// unless run() armed the profiler. Purely observational.
+  void capture_profile_segment(const pipeline::StageGraph& graph, int layer,
+                               bool forward);
   /// Submit layer l's deferred forward exchange (stale boundary rows of
   /// acts_[l]); it stays in flight across the iteration boundary.
   void submit_pipegcn_forward(int l);

@@ -148,6 +148,121 @@ void append_width_object(std::string& out,
   out += "}";
 }
 
+void append_category_object(
+    std::string& out, const std::array<double, kNumProfileCategories>& v) {
+  out += "{";
+  for (int c = 0; c < kNumProfileCategories; ++c) {
+    if (c) out += ", ";
+    out += '"';
+    out += profile_category_key(c);
+    out += "_s\": ";
+    append_num(out, v[static_cast<std::size_t>(c)]);
+  }
+  out += "}";
+}
+
+// The versioned adaqp-profile-v1 section: per-epoch critical-path
+// attribution, what-if projections and per-segment detail, rendered from
+// the ProfileCapture rows (docs/OBSERVABILITY.md, "Critical-path
+// profiler"; validated by tools/metrics_schema_check, consumed by
+// tools/profile_report).
+void append_profile(std::string& out, const RunCapture& cap) {
+  const ProfileCapture& prof = cap.profile();
+  out += "  \"profile\": {\"schema\": \"";
+  out += kProfileSchema;
+  out += "\", \"enabled\": true,\n  \"epochs\": [\n";
+  for (int e = 0; e < prof.captured_epochs(); ++e) {
+    const EpochProfile ep = prof.epoch_rollup(e);
+    out += "    {\"epoch\": ";
+    append_i64(out, e);
+    out += ", ";
+    append_kv(out, "attributed_wall_s", ep.attributed_wall_s);
+    append_kv(out, "critical_path_s", ep.cp_s);
+    append_kv(out, "busy_s", ep.busy_s);
+    append_kv(out, "slack_s", ep.slack_s, /*comma=*/false);
+    out += ", \"attribution\": {";
+    for (int c = 0; c < kNumProfileCategories; ++c) {
+      out += '"';
+      out += profile_category_key(c);
+      out += "_s\": ";
+      append_num(out, ep.category_s[static_cast<std::size_t>(c)]);
+      out += ", ";
+    }
+    append_kv(out, "optimizer_s", ep.optimizer_s);
+    append_kv(out, "scheduling_s", ep.scheduling_s);
+    append_kv(out, "serial_s", ep.serial_s, /*comma=*/false);
+    out += "}, \"what_if\": {";
+    append_kv(out, "zero_wire_s", ep.zero_wire_s);
+    append_kv(out, "infinite_thread_s", ep.infinite_thread_s, false);
+    out += ", \"sensitivity\": ";
+    append_category_object(out, ep.sensitivity_s);
+    out += "}, \"segments\": [";
+    bool first_seg = true;
+    for (int l = 0; l < prof.layers(); ++l) {
+      for (int dir = 0; dir < 2; ++dir) {
+        const bool forward = dir == 0;
+        const SegmentProfile& seg = prof.segment_at(e, l, forward);
+        if (seg.stages == 0) continue;
+        if (!first_seg) out += ", ";
+        first_seg = false;
+        out += "{\"layer\": ";
+        append_i64(out, l);
+        out += forward ? ", \"direction\": \"forward\", "
+                       : ", \"direction\": \"backward\", ";
+        out += "\"stages\": ";
+        append_i64(out, seg.stages);
+        out += ", \"critical_path_stages\": ";
+        append_i64(out, seg.cp_stages);
+        out += ", ";
+        append_kv(out, "makespan_s", seg.makespan_s);
+        append_kv(out, "critical_path_s", seg.cp_s);
+        append_kv(out, "busy_s", seg.busy_s);
+        append_kv(out, "slack_s", seg.slack_s);
+        append_kv(out, "zero_wire_critical_path_s", seg.zero_wire_cp_s,
+                  /*comma=*/false);
+        out += ", \"overlap\": ";
+        append_overlap(out, seg.overlap);
+        out += ", \"categories\": ";
+        append_category_object(out, seg.category_s);
+        out += ", \"sensitivity\": ";
+        append_category_object(out, seg.sensitivity_s);
+        out += ", \"critical_path\": [";
+        const int named = seg.cp_stages < kMaxCpStages ? seg.cp_stages
+                                                       : kMaxCpStages;
+        for (int i = 0; i < named; ++i) {
+          const std::string* name = seg.cp_names[static_cast<std::size_t>(i)];
+          if (i) out += ", ";
+          out += '"';
+          if (name != nullptr) json_escape(*name, out);
+          out += '"';
+        }
+        out += "]}";
+      }
+    }
+    out += "], \"pair_exchange_s\": [";
+    bool first_pair = true;
+    for (int s = 0; s < prof.devices(); ++s) {
+      for (int d = 0; d < prof.devices(); ++d) {
+        const double secs = prof.pair_seconds_at(e, s, d);
+        if (secs <= 0.0) continue;
+        if (!first_pair) out += ", ";
+        first_pair = false;
+        out += "{\"src\": ";
+        append_i64(out, s);
+        out += ", \"dst\": ";
+        append_i64(out, d);
+        out += ", \"seconds\": ";
+        append_num(out, secs);
+        out += "}";
+      }
+    }
+    out += "]}";
+    if (e + 1 < prof.captured_epochs()) out += ",";
+    out += "\n";
+  }
+  out += "  ]},\n";
+}
+
 std::string render_json(const RunCapture& cap, const ReportMeta& meta) {
   std::string out;
   out.reserve(1 << 16);
@@ -172,6 +287,10 @@ std::string render_json(const RunCapture& cap, const ReportMeta& meta) {
   append_i64(out, meta.layers);
   out += ",\n  \"threads\": ";
   append_i64(out, meta.threads);
+  out += ",\n  \"hardware_threads\": ";
+  append_i64(out, meta.hardware_threads);
+  out += ",\n  \"low_parallelism_host\": ";
+  out += meta.low_parallelism_host ? "true" : "false";
   out += ",\n  \"async\": ";
   out += meta.async ? "true" : "false";
   out += ",\n  \"epochs_requested\": ";
@@ -256,6 +375,8 @@ std::string render_json(const RunCapture& cap, const ReportMeta& meta) {
     out += "\n";
   }
   out += "  ],\n";
+
+  if (cap.profile().enabled()) append_profile(out, cap);
 
   const Registry::Snapshot snap = Registry::instance().snapshot();
   out += "  \"counters\": {";

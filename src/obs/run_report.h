@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/stopwatch.h"
 
 namespace adaqp::obs {
@@ -113,6 +114,12 @@ class RunCapture {
   std::uint64_t pair_messages(int epoch, int src, int dst) const;
   std::uint64_t pair_width_bytes(int epoch, int src, int dst, int w) const;
 
+  /// Critical-path profile rows (obs/profile.h). Dimensioned by its own
+  /// init() from DistTrainer::run() when ADAQP_PROFILE is armed; stays
+  /// disabled (and skipped by the report writer) otherwise.
+  ProfileCapture& profile() { return profile_; }
+  const ProfileCapture& profile() const { return profile_; }
+
  private:
   std::size_t pair_slot(int epoch, int src, int dst) const {
     return (static_cast<std::size_t>(epoch) * devices_ + src) * devices_ + dst;
@@ -126,6 +133,7 @@ class RunCapture {
   std::vector<std::uint64_t> pair_total_;  // [epoch][src][dst]
   std::vector<std::uint64_t> pair_msgs_;   // [epoch][src][dst]
   std::vector<std::uint64_t> pair_width_;  // [epoch][src][dst][width]
+  ProfileCapture profile_;
 };
 
 /// Run-level header of the report.
@@ -137,6 +145,13 @@ struct ReportMeta {
   int devices = 0;
   int layers = 0;
   int threads = 1;
+  /// std::thread::hardware_concurrency() of the host, recorded next to
+  /// every overlap/speedup figure so a 1-core CI runner's numbers are
+  /// machine-readably suspect (ROADMAP's measurement-gap caveat).
+  int hardware_threads = 0;
+  /// True when hardware_threads < threads: overlap efficiency and speedup
+  /// figures from this run reflect oversubscription, not real parallelism.
+  bool low_parallelism_host = false;
   bool async = false;
   int epochs_requested = 0;
   double sim_train_seconds = 0.0;

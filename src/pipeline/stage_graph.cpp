@@ -105,6 +105,16 @@ double StageGraph::stage_end_us(int id) const {
   return nodes_[id].end_us;
 }
 
+const std::string& StageGraph::stage_name(int id) const {
+  ADAQP_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
+  return nodes_[id].name;
+}
+
+const std::vector<int>& StageGraph::stage_deps(int id) const {
+  ADAQP_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
+  return nodes_[id].deps;
+}
+
 void StageGraph::run_stage(std::size_t id) {
   Node& node = nodes_[id];
   // Timestamps are stamped before finish_stage(): once the stage's Event is

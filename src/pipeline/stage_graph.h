@@ -120,6 +120,13 @@ class StageGraph {
   double stage_begin_us(int id) const;
   double stage_end_us(int id) const;
 
+  /// Stage identity for the critical-path profiler (src/obs/profile.h):
+  /// the name and declared dependency edges of a stage. References stay
+  /// valid for the graph's lifetime (nodes live in a deque), which is how
+  /// profile rows can keep name pointers instead of copies.
+  const std::string& stage_name(int id) const;
+  const std::vector<int>& stage_deps(int id) const;
+
   /// Submit all ready stages to the pool and return immediately. Call at
   /// most once per armed graph; follow with wait().
   void launch();

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/stopwatch.h"
 
@@ -24,6 +25,7 @@ struct TraceRecorder::Impl {
   // keys are views into those same strings. Cleared by start().
   std::deque<std::string> interned;
   std::map<std::string_view, const std::string*> intern_index;
+  std::uint64_t next_flow_id = 1;
 
   /// Pointer to the interned copy of `s`; copies only on first sight.
   /// Caller holds mu.
@@ -52,6 +54,7 @@ void TraceRecorder::start() {
   impl_->intern_index.clear();  // views into interned — clear first
   impl_->interned.clear();
   impl_->origin_us = obs::monotonic_us();
+  impl_->next_flow_id = 1;
   impl_->enabled.store(true, std::memory_order_release);
 }
 
@@ -67,6 +70,10 @@ double TraceRecorder::now_us() const {
   // Shares the process clock with every other obs timestamp; only the
   // origin (start() time) is trace-local so Chrome traces begin near 0.
   return obs::monotonic_us() - impl_->origin_us;
+}
+
+double TraceRecorder::trace_ts(double monotonic_us) const {
+  return monotonic_us - impl_->origin_us;
 }
 
 int TraceRecorder::thread_id() {
@@ -90,6 +97,71 @@ void TraceRecorder::record(const std::string& name,
   const std::string* n = impl_->intern_locked(name);
   const std::string* c = impl_->intern_locked(category);
   impl_->events.push_back(TraceEvent{n, c, ts_us, dur_us, tid});
+}
+
+void TraceRecorder::record_counter(const std::string& name, double ts_us,
+                                   double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  static const std::string kCat = "metrics";
+  TraceEvent e;
+  e.name = impl_->intern_locked(name);
+  e.category = impl_->intern_locked(kCat);
+  e.ts_us = ts_us;
+  e.phase = 'C';
+  e.value = value;
+  impl_->events.push_back(e);
+}
+
+void TraceRecorder::record_registry_counters(double ts_us) {
+  if (!enabled()) return;
+  const obs::Registry::Snapshot snap = obs::Registry::instance().snapshot();
+  for (const auto& [name, value] : snap.counters)
+    record_counter(name, ts_us, static_cast<double>(value));
+  for (const auto& [name, value] : snap.gauges)
+    record_counter(name, ts_us, static_cast<double>(value));
+}
+
+void TraceRecorder::record_flow(const std::string& from_name,
+                                double from_ts_us, const std::string& to_name,
+                                double to_ts_us) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  // Bind each endpoint to the most recent recorded slice that covers its
+  // timestamp: flow arrows only render when their pid/tid matches the
+  // slice they start/end in. Linear scan — flows are emitted per
+  // critical-path edge, far rarer than spans.
+  const auto find_tid = [&](const std::string& name, double ts, int& tid) {
+    for (std::size_t i = impl_->events.size(); i-- > 0;) {
+      const TraceEvent& e = impl_->events[i];
+      if (e.phase != 'X' || *e.name != name) continue;
+      if (ts + 1e-3 < e.ts_us || ts - 1e-3 > e.ts_us + e.dur_us) continue;
+      tid = e.tid;
+      return true;
+    }
+    return false;
+  };
+  int from_tid = 0;
+  int to_tid = 0;
+  if (!find_tid(from_name, from_ts_us, from_tid) ||
+      !find_tid(to_name, to_ts_us, to_tid)) {
+    return;
+  }
+  static const std::string kName = "critical-path";
+  static const std::string kCat = "cp";
+  TraceEvent s;
+  s.name = impl_->intern_locked(kName);
+  s.category = impl_->intern_locked(kCat);
+  s.ts_us = from_ts_us;
+  s.tid = from_tid;
+  s.phase = 's';
+  s.flow_id = impl_->next_flow_id++;
+  TraceEvent f = s;
+  f.ts_us = to_ts_us;
+  f.tid = to_tid;
+  f.phase = 'f';
+  impl_->events.push_back(s);
+  impl_->events.push_back(f);
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
@@ -122,14 +194,42 @@ bool TraceRecorder::write_json(const std::string& path) const {
   std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
   for (std::size_t i = 0; i < evs.size(); ++i) {
     const TraceEvent& e = evs[i];
+    const char* sep = i + 1 < evs.size() ? "," : "";
     std::fputs("  {\"name\":\"", f);
     write_escaped(f, *e.name);
     std::fputs("\",\"cat\":\"", f);
     write_escaped(f, *e.category);
-    std::fprintf(f,
-                 "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
-                 "\"dur\":%.3f}%s\n",
-                 e.tid, e.ts_us, e.dur_us, i + 1 < evs.size() ? "," : "");
+    switch (e.phase) {
+      case 'C':
+        // Counter sample: Chrome draws one stacked-area track per name.
+        std::fprintf(f,
+                     "\",\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                     "\"args\":{\"value\":%.17g}}%s\n",
+                     e.tid, e.ts_us, e.value, sep);
+        break;
+      case 's':
+        std::fprintf(f,
+                     "\",\"ph\":\"s\",\"id\":%llu,\"pid\":1,\"tid\":%d,"
+                     "\"ts\":%.3f}%s\n",
+                     static_cast<unsigned long long>(e.flow_id), e.tid,
+                     e.ts_us, sep);
+        break;
+      case 'f':
+        // bp:"e" binds the arrow head to the enclosing slice, so the
+        // critical path lands on the stage span itself.
+        std::fprintf(f,
+                     "\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%llu,\"pid\":1,"
+                     "\"tid\":%d,\"ts\":%.3f}%s\n",
+                     static_cast<unsigned long long>(e.flow_id), e.tid,
+                     e.ts_us, sep);
+        break;
+      default:
+        std::fprintf(f,
+                     "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                     "\"dur\":%.3f}%s\n",
+                     e.tid, e.ts_us, e.dur_us, sep);
+        break;
+    }
   }
   std::fputs("]}\n", f);
   const bool ok = std::fclose(f) == 0;

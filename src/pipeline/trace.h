@@ -26,15 +26,20 @@
 
 namespace adaqp::pipeline {
 
-/// One completed span, microseconds relative to TraceRecorder::start().
+/// One recorded event, microseconds relative to TraceRecorder::start().
 /// `name`/`category` point into the recorder's intern table — stable until
-/// the next TraceRecorder::start().
+/// the next TraceRecorder::start(). `phase` is the Chrome trace_event
+/// phase: 'X' complete span (the common case), 'C' counter sample (value
+/// carries the sample), 's'/'f' flow arrow endpoints (flow_id pairs them).
 struct TraceEvent {
   const std::string* name = nullptr;
   const std::string* category = nullptr;
   double ts_us = 0.0;
   double dur_us = 0.0;
   int tid = 0;
+  char phase = 'X';
+  double value = 0.0;
+  std::uint64_t flow_id = 0;
 };
 
 class TraceRecorder {
@@ -53,8 +58,33 @@ class TraceRecorder {
   void record(const std::string& name, const std::string& category,
               double ts_us, double dur_us);
 
+  /// Record one counter sample ("C" event, no-op while disabled): shown by
+  /// Chrome/Perfetto as a stacked-area track alongside the stage timeline.
+  void record_counter(const std::string& name, double ts_us, double value);
+
+  /// Sample every counter and gauge of the obs metrics registry as "C"
+  /// events at `ts_us` (no-op while disabled). The trainer calls this once
+  /// per epoch when tracing, so wire bytes / messages / epoch counts are
+  /// visible next to the stage spans they explain. Allocates (registry
+  /// snapshot) — trace-enabled epochs are outside the steady-state contract
+  /// by definition.
+  void record_registry_counters(double ts_us);
+
+  /// Emit one flow arrow ("s" -> "f" pair) between two recorded stage
+  /// spans, identified by name + a timestamp inside the span. The recorder
+  /// scans its events for the covering "X" slices to bind the arrow to the
+  /// right threads; arrows whose endpoints match no recorded slice are
+  /// dropped. Used by the critical-path profiler to draw the epoch's
+  /// critical path across thread rows. No-op while disabled.
+  void record_flow(const std::string& from_name, double from_ts_us,
+                   const std::string& to_name, double to_ts_us);
+
   /// Microseconds since start() on the recorder's clock.
   double now_us() const;
+
+  /// Convert an absolute obs::monotonic_us() stamp (e.g. a StageGraph
+  /// stage timestamp) to this trace's timebase.
+  double trace_ts(double monotonic_us) const;
 
   /// Small dense id for the calling thread (0 = first thread seen).
   int thread_id();

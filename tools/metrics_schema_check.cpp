@@ -1,224 +1,27 @@
 // Validates an ADAQP_METRICS JSON run report against the adaqp-metrics-v1
-// schema (src/obs/run_report.h). Self-contained: a minimal recursive-descent
-// JSON parser plus structural assertions — no library dependency, so the
-// checker cannot inherit a serializer bug from the code it validates.
+// schema (src/obs/run_report.h), including the optional adaqp-profile-v1
+// critical-path section (src/obs/profile.h). Self-contained: the shared
+// minimal JSON parser (tools/json_mini.h) plus structural assertions — no
+// library dependency, so the checker cannot inherit a serializer bug from
+// the code it validates.
 //
 //   ./metrics_schema_check <report.json>
 //
 // Exit 0 with a one-line summary when the report is schema-valid; exit 1
-// with the first violation otherwise. scripts/bench.sh and CI run this on
-// every report they produce.
+// with the first violation otherwise. Unknown schema versions — of the
+// report or of the profile section — are violations, not warnings.
+// scripts/bench.sh and CI run this on every report they produce.
 #include <cstdio>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
-#include <stdexcept>
 #include <string>
-#include <vector>
+
+#include "json_mini.h"
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value + parser
-// ---------------------------------------------------------------------------
-
-struct Value;
-using ValuePtr = std::shared_ptr<Value>;
-
-struct Value {
-  enum Type { kNull, kBool, kNumber, kString, kArray, kObject } type = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<ValuePtr> array;
-  std::map<std::string, ValuePtr> object;
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  ValuePtr parse() {
-    ValuePtr v = value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing content after JSON value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("parse error at byte " + std::to_string(pos_) +
-                             ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  ValuePtr value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't': return literal("true", Value::kBool, true);
-      case 'f': return literal("false", Value::kBool, false);
-      case 'n': return literal("null", Value::kNull, false);
-      default: return number();
-    }
-  }
-
-  ValuePtr literal(const char* word, Value::Type type, bool b) {
-    for (const char* p = word; *p; ++p) {
-      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
-      ++pos_;
-    }
-    auto v = std::make_shared<Value>();
-    v->type = type;
-    v->boolean = b;
-    return v;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= s_.size()) fail("unterminated string");
-      char c = s_[pos_++];
-      if (c == '"') break;
-      if (static_cast<unsigned char>(c) < 0x20)
-        fail("raw control character in string");
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= s_.size()) fail("unterminated escape");
-      const char e = s_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) fail("short \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9')
-              code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            else
-              fail("bad \\u escape");
-          }
-          // Reports only ever escape ASCII control chars; keep it simple.
-          out += static_cast<char>(code & 0x7f);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-    return out;
-  }
-
-  ValuePtr string_value() {
-    auto v = std::make_shared<Value>();
-    v->type = Value::kString;
-    v->str = parse_string();
-    return v;
-  }
-
-  ValuePtr number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-'))
-      ++pos_;
-    if (pos_ == start) fail("expected a value");
-    auto v = std::make_shared<Value>();
-    v->type = Value::kNumber;
-    try {
-      v->number = std::stod(s_.substr(start, pos_ - start));
-    } catch (...) {
-      fail("bad number");
-    }
-    return v;
-  }
-
-  ValuePtr array() {
-    expect('[');
-    auto v = std::make_shared<Value>();
-    v->type = Value::kArray;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v->array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      break;
-    }
-    return v;
-  }
-
-  ValuePtr object() {
-    expect('{');
-    auto v = std::make_shared<Value>();
-    v->type = Value::kObject;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v->object[key] = value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      break;
-    }
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using jsonmini::Parser;
+using jsonmini::Value;
 
 // ---------------------------------------------------------------------------
 // Schema assertions
@@ -253,6 +56,12 @@ void require_keys(const Value& obj, std::initializer_list<const char*> keys,
 }
 
 const char* const kWidthKeys[] = {"b2", "b4", "b8", "b32"};
+
+// Stage categories of the profile attribution, matching
+// obs::profile_category_key order; "_s" suffixed in the report.
+const char* const kCategoryKeys[] = {"central_s", "marginal_s", "encode_s",
+                                     "wire_s",    "decode_s",   "fold_s",
+                                     "other_s"};
 
 void check_width_object(const Value& v, const std::string& where) {
   if (v.type != Value::kObject) violation(where + " is not an object");
@@ -316,10 +125,136 @@ void check_epoch(const Value& e, int index) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// adaqp-profile-v1 section
+// ---------------------------------------------------------------------------
+
+void check_category_object(const Value& v, const std::string& where) {
+  if (v.type != Value::kObject) violation(where + " is not an object");
+  for (const char* k : kCategoryKeys)
+    if (num_field(v, k, where) < 0.0)
+      violation(where + "." + k + " is negative");
+}
+
+void check_profile_epoch(const Value& e, int index) {
+  const std::string where = "profile.epochs[" + std::to_string(index) + "]";
+  num_field(e, "epoch", where);
+  const double wall = num_field(e, "attributed_wall_s", where);
+  const double cp = num_field(e, "critical_path_s", where);
+  const double busy = num_field(e, "busy_s", where);
+  num_field(e, "slack_s", where);
+  if (cp < 0.0) violation(where + ".critical_path_s is negative");
+  // The critical path is the longest chain through the stages, so it can
+  // never exceed running every stage serially (+ slop for rounding).
+  if (cp > busy * (1.0 + 1e-6) + 1e-9)
+    violation(where + ".critical_path_s exceeds busy_s");
+
+  // The attribution must decompose the attributed wall: stage categories
+  // plus optimizer, scheduling and serial glue, within float tolerance.
+  const Value& attr = field(e, "attribution", where);
+  double total = 0.0;
+  for (const char* k : kCategoryKeys)
+    total += num_field(attr, k, where + ".attribution");
+  for (const char* k : {"optimizer_s", "scheduling_s", "serial_s"}) {
+    const double v = num_field(attr, k, where + ".attribution");
+    if (v < 0.0) violation(where + ".attribution." + k + " is negative");
+    total += v;
+  }
+  const double tol = 1e-6 + 0.01 * wall;
+  if (wall > 0.0 && (total < wall - tol || total > wall + tol))
+    violation(where + ".attribution does not sum to attributed_wall_s (" +
+              std::to_string(total) + " vs " + std::to_string(wall) + ")");
+
+  const Value& what_if = field(e, "what_if", where);
+  const double zero_wire = num_field(what_if, "zero_wire_s", where);
+  const double inf_thread = num_field(what_if, "infinite_thread_s", where);
+  if (zero_wire < 0.0 || inf_thread < 0.0)
+    violation(where + ".what_if bounds are negative");
+  // Both are lower bounds on the attributed wall (modulo clock jitter, so
+  // the attribution tolerance applies).
+  if (wall > 0.0 && inf_thread > wall + tol)
+    violation(where + ".what_if.infinite_thread_s exceeds attributed wall");
+  if (zero_wire > inf_thread * (1.0 + 1e-6) + 1e-9)
+    violation(where + ".what_if.zero_wire_s exceeds infinite_thread_s");
+  check_category_object(field(what_if, "sensitivity", where + ".what_if"),
+                        where + ".what_if.sensitivity");
+
+  const Value& segments = field(e, "segments", where);
+  if (segments.type != Value::kArray)
+    violation(where + ".segments is not an array");
+  for (std::size_t s = 0; s < segments.array.size(); ++s) {
+    const Value& seg = *segments.array[s];
+    const std::string sw = where + ".segments[" + std::to_string(s) + "]";
+    num_field(seg, "layer", sw);
+    const Value& dir = field(seg, "direction", sw);
+    if (dir.type != Value::kString ||
+        (dir.str != "forward" && dir.str != "backward"))
+      violation(sw + ".direction is not \"forward\"/\"backward\"");
+    const double stages = num_field(seg, "stages", sw);
+    const double cp_stages = num_field(seg, "critical_path_stages", sw);
+    if (cp_stages > stages)
+      violation(sw + ".critical_path_stages exceeds stages");
+    const double seg_cp = num_field(seg, "critical_path_s", sw);
+    const double seg_busy = num_field(seg, "busy_s", sw);
+    num_field(seg, "makespan_s", sw);
+    num_field(seg, "slack_s", sw);
+    const double seg_zero_wire = num_field(seg, "zero_wire_critical_path_s", sw);
+    if (seg_cp > seg_busy * (1.0 + 1e-6) + 1e-9)
+      violation(sw + ".critical_path_s exceeds busy_s");
+    if (seg_zero_wire > seg_cp * (1.0 + 1e-6) + 1e-9)
+      violation(sw + ".zero_wire_critical_path_s exceeds critical_path_s");
+    check_overlap(field(seg, "overlap", sw), sw + ".overlap");
+    // Σ categories over the segment's critical path == its length.
+    const Value& cats = field(seg, "categories", sw);
+    check_category_object(cats, sw + ".categories");
+    double cat_total = 0.0;
+    for (const char* k : kCategoryKeys)
+      cat_total += num_field(cats, k, sw + ".categories");
+    const double seg_tol = 1e-9 + 1e-6 * seg_cp;
+    if (cat_total < seg_cp - seg_tol || cat_total > seg_cp + seg_tol)
+      violation(sw + ".categories do not sum to critical_path_s");
+    check_category_object(field(seg, "sensitivity", sw), sw + ".sensitivity");
+    const Value& path = field(seg, "critical_path", sw);
+    if (path.type != Value::kArray)
+      violation(sw + ".critical_path is not an array");
+    for (const auto& name : path.array)
+      if (name->type != Value::kString)
+        violation(sw + ".critical_path entries must be strings");
+  }
+
+  const Value& pairs = field(e, "pair_exchange_s", where);
+  if (pairs.type != Value::kArray)
+    violation(where + ".pair_exchange_s is not an array");
+  for (std::size_t p = 0; p < pairs.array.size(); ++p) {
+    const Value& pair = *pairs.array[p];
+    const std::string pw =
+        where + ".pair_exchange_s[" + std::to_string(p) + "]";
+    num_field(pair, "src", pw);
+    num_field(pair, "dst", pw);
+    if (num_field(pair, "seconds", pw) < 0.0)
+      violation(pw + ".seconds is negative");
+  }
+}
+
+int check_profile(const Value& profile) {
+  const Value& schema = field(profile, "schema", "profile");
+  if (schema.type != Value::kString || schema.str != "adaqp-profile-v1")
+    violation("profile.schema is not \"adaqp-profile-v1\"");
+  if (field(profile, "enabled", "profile").type != Value::kBool)
+    violation("profile.enabled is not a bool");
+  const Value& epochs = field(profile, "epochs", "profile");
+  if (epochs.type != Value::kArray)
+    violation("profile.epochs is not an array");
+  for (std::size_t i = 0; i < epochs.array.size(); ++i)
+    check_profile_epoch(*epochs.array[i], static_cast<int>(i));
+  return static_cast<int>(epochs.array.size());
+}
+
 struct Summary {
   int epochs = 0;
   double wire_bytes = 0.0;
   double messages = 0.0;
+  int profile_epochs = -1;  ///< -1 = no profile section
 };
 
 Summary check_report(const Value& root) {
@@ -330,12 +265,20 @@ Summary check_report(const Value& root) {
   for (const char* k : {"method", "model", "dataset", "partition"})
     if (field(root, k, "report").type != Value::kString)
       violation(std::string("report.") + k + " is not a string");
-  for (const char* k : {"devices", "layers", "threads", "epochs_requested",
-                        "epochs_captured", "sim_train_seconds",
-                        "assign_seconds", "total_comm_bytes"})
+  for (const char* k : {"devices", "layers", "threads", "hardware_threads",
+                        "epochs_requested", "epochs_captured",
+                        "sim_train_seconds", "assign_seconds",
+                        "total_comm_bytes"})
     num_field(root, k, "report");
-  if (field(root, "async", "report").type != Value::kBool)
-    violation("report.async is not a bool");
+  for (const char* k : {"async", "low_parallelism_host"})
+    if (field(root, k, "report").type != Value::kBool)
+      violation(std::string("report.") + k + " is not a bool");
+  // The warning flag must be consistent with the recorded host parallelism.
+  const double hw = num_field(root, "hardware_threads", "report");
+  const double threads = num_field(root, "threads", "report");
+  const bool low = field(root, "low_parallelism_host", "report").boolean;
+  if (low != (hw > 0 && hw < threads))
+    violation("low_parallelism_host inconsistent with hardware_threads");
 
   const Value& epochs = field(root, "epochs", "report");
   if (epochs.type != Value::kArray) violation("report.epochs is not an array");
@@ -354,6 +297,11 @@ Summary check_report(const Value& root) {
       sum.wire_bytes += num_field(wb, k, "epoch.exchange.wire_bytes");
   }
   sum.epochs = static_cast<int>(epochs.array.size());
+
+  // Profile section is optional (ADAQP_PROFILE=0 omits it) but strictly
+  // versioned when present.
+  if (const auto it = root.object.find("profile"); it != root.object.end())
+    sum.profile_epochs = check_profile(*it->second);
 
   for (const char* k : {"counters", "gauges", "histograms"})
     if (field(root, k, "report").type != Value::kObject)
@@ -379,10 +327,17 @@ int main(int argc, char** argv) {
   try {
     Parser parser(text);
     const Summary sum = check_report(*parser.parse());
-    std::printf(
-        "metrics_schema_check: OK %s (%d epochs, %.0f messages, %.0f wire "
-        "bytes)\n",
-        argv[1], sum.epochs, sum.messages, sum.wire_bytes);
+    if (sum.profile_epochs >= 0)
+      std::printf(
+          "metrics_schema_check: OK %s (%d epochs, %.0f messages, %.0f wire "
+          "bytes, profile: %d epochs)\n",
+          argv[1], sum.epochs, sum.messages, sum.wire_bytes,
+          sum.profile_epochs);
+    else
+      std::printf(
+          "metrics_schema_check: OK %s (%d epochs, %.0f messages, %.0f wire "
+          "bytes, no profile section)\n",
+          argv[1], sum.epochs, sum.messages, sum.wire_bytes);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "metrics_schema_check: %s: %s\n", argv[1], e.what());
