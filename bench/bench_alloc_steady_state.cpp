@@ -9,6 +9,7 @@
 // Usage: bench_alloc_steady_state [--threads "1 4 8"]
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "memory/alloc_track.h"
 #include "pipeline/config.h"
 #include "runtime/thread_pool.h"
+#include "transport/loopback.h"
+#include "transport/transport.h"
 
 using namespace adaqp;
 
@@ -49,6 +52,11 @@ CaseResult run_case(const Dataset& ds, Method method, bool async,
                     int threads) {
   pipeline::AsyncModeGuard mode(async);
   ThreadCountGuard thread_guard(threads);
+  // The contract covers loopback delivery only (see
+  // memory::steady_state_definition()); pin it regardless of the
+  // environment's ADAQP_TRANSPORT.
+  transport::ScopedTransport loopback(
+      std::make_unique<transport::LoopbackTransport>());
 
   Rng rng(4242);
   const auto part = MultilevelPartitioner().partition(ds.graph, 4, rng);

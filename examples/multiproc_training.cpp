@@ -1,0 +1,85 @@
+// Multi-process determinism probe (docs/TRANSPORT.md): runs every training
+// method on a fixed small dataset and prints the exact bit patterns of the
+// final loss/accuracies plus the transport delivery digest, one line per
+// method, on stdout. Under the replicated-compute model every rank — and a
+// single-process loopback run — must print byte-identical stdout, which is
+// what scripts/run_multiproc.sh diffs.
+//
+// Transport comes from the environment: ADAQP_TRANSPORT=tcp with
+// ADAQP_TP_RANK / ADAQP_TP_NPROCS / ADAQP_TP_BASE_PORT set per rank, or
+// loopback (default) for the baseline. Rank-specific chatter goes to stderr
+// so stdout stays diffable.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "core/trainer.h"
+#include "transport/transport.h"
+
+using namespace adaqp;
+
+namespace {
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+}  // namespace
+
+int main() {
+  DatasetSpec spec;
+  spec.name = "multiproc_probe";
+  spec.num_nodes = 600;
+  spec.avg_degree = 8.0;
+  spec.feature_dim = 12;
+  spec.num_classes = 5;
+  spec.intra_prob = 0.8;
+  Rng ds_rng(33);
+  const Dataset ds = make_dataset(spec, ds_rng);
+
+  Rng part_rng(4242);
+  const auto part = MultilevelPartitioner().partition(ds.graph, 4, part_rng);
+  const DistGraph dist = build_dist_graph(ds.graph, part);
+  const ClusterSpec cluster = ClusterSpec::machines(2, 2);
+
+  ModelConfig mc;
+  mc.aggregator = Aggregator::kGcn;
+  mc.in_dim = ds.spec.feature_dim;
+  mc.hidden_dim = 16;
+  mc.out_dim = ds.num_classes();
+  mc.num_layers = 2;
+  mc.dropout = 0.3f;
+
+  transport::Transport& tp = transport::active();
+  std::fprintf(stderr, "[multiproc_training] transport=%s\n", tp.name());
+
+  for (Method m : {Method::kVanilla, Method::kAdaQP, Method::kAdaQPUniform,
+                   Method::kPipeGCN, Method::kSancus}) {
+    TrainOptions opts;
+    opts.method = m;
+    opts.epochs = 8;
+    opts.seed = 21;
+    opts.reassign_period = 4;
+    opts.verbose = false;
+    const transport::TransportStats before = tp.stats();
+    RunResult r;
+    {
+      DistTrainer trainer(ds, dist, cluster, mc, opts);
+      r = trainer.run();
+    }
+    // XOR digests fold incrementally, so before^after isolates this method.
+    const transport::TransportStats after = tp.stats();
+    std::printf("method=%s loss=%016" PRIx64 " val=%016" PRIx64
+                " test=%016" PRIx64 " comm=%zu frames=%" PRIu64
+                " bytes=%" PRIu64 " digest=%016" PRIx64 "\n",
+                r.method.c_str(), bits_of(r.epochs.back().train_loss),
+                bits_of(r.final_val_acc), bits_of(r.final_test_acc),
+                r.total_comm_bytes, after.frames_delivered - before.frames_delivered,
+                after.bytes_delivered - before.bytes_delivered,
+                before.digest ^ after.digest);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Multi-process TCP smoke (docs/TRANSPORT.md): launch N ranks of
+# examples/multiproc_training over the real TCP backend and assert that
+# every rank's stdout is byte-identical to a single-process loopback
+# baseline — final loss/accuracy bit patterns and the transport delivery
+# digest included.
+#
+# Usage: run_multiproc.sh <multiproc_training-binary> <nprocs> <base_port>
+# Exit codes: 0 pass, 77 skipped (ADAQP_MULTIPROC=0 or missing binary),
+# 1 divergence or rank failure.
+set -u
+
+BIN="${1:?usage: run_multiproc.sh <binary> <nprocs> <base_port>}"
+NPROCS="${2:?nprocs}"
+BASE_PORT="${3:?base_port}"
+
+# Sanitizer/constrained legs opt out with ADAQP_MULTIPROC=0; ctest maps 77
+# to "skipped" via SKIP_RETURN_CODE.
+if [ "${ADAQP_MULTIPROC:-1}" = "0" ]; then
+  echo "[multiproc] skipped (ADAQP_MULTIPROC=0)"
+  exit 77
+fi
+if [ ! -x "$BIN" ]; then
+  echo "[multiproc] skipped (binary not found: $BIN)"
+  exit 77
+fi
+
+TMPDIR_RUN="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_RUN"' EXIT
+
+echo "[multiproc] baseline: single-process loopback"
+if ! ADAQP_TRANSPORT=loopback "$BIN" >"$TMPDIR_RUN/baseline.out" \
+    2>"$TMPDIR_RUN/baseline.err"; then
+  echo "[multiproc] FAIL: loopback baseline crashed"
+  cat "$TMPDIR_RUN/baseline.err"
+  exit 1
+fi
+
+echo "[multiproc] launching $NPROCS tcp ranks on ports $BASE_PORT..$((BASE_PORT + NPROCS - 1))"
+PIDS=()
+for ((r = 0; r < NPROCS; r++)); do
+  ADAQP_TRANSPORT=tcp \
+  ADAQP_TP_RANK="$r" \
+  ADAQP_TP_NPROCS="$NPROCS" \
+  ADAQP_TP_BASE_PORT="$BASE_PORT" \
+  "$BIN" >"$TMPDIR_RUN/rank$r.out" 2>"$TMPDIR_RUN/rank$r.err" &
+  PIDS+=($!)
+done
+
+STATUS=0
+for ((r = 0; r < NPROCS; r++)); do
+  if ! wait "${PIDS[$r]}"; then
+    echo "[multiproc] FAIL: rank $r exited non-zero"
+    sed "s/^/[rank$r] /" "$TMPDIR_RUN/rank$r.err"
+    STATUS=1
+  fi
+done
+[ "$STATUS" -ne 0 ] && exit 1
+
+for ((r = 0; r < NPROCS; r++)); do
+  if ! diff -u "$TMPDIR_RUN/baseline.out" "$TMPDIR_RUN/rank$r.out" \
+      >"$TMPDIR_RUN/rank$r.diff"; then
+    echo "[multiproc] FAIL: rank $r diverged from loopback baseline"
+    cat "$TMPDIR_RUN/rank$r.diff"
+    STATUS=1
+  fi
+done
+[ "$STATUS" -ne 0 ] && exit 1
+
+echo "[multiproc] PASS: $NPROCS tcp ranks bit-identical to loopback baseline"
+sed 's/^/[result] /' "$TMPDIR_RUN/baseline.out"
+exit 0

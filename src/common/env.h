@@ -21,6 +21,12 @@
 //   ADAQP_METRICS    src/obs/metrics.cpp           env::text
 //   ADAQP_METRICS_FORMAT  src/obs/metrics.cpp      env::text
 //   ADAQP_PROFILE    src/obs/profile.cpp           env::flag01
+//   ADAQP_TRANSPORT  src/transport/transport.cpp   env::text
+//   ADAQP_TP_RANK / _NPROCS / _BASE_PORT / _TIMEOUT_MS / _MAX_CHUNK
+//                    src/transport/tcp.cpp         env::int_in_range
+//   ADAQP_FAULT      src/transport/transport.cpp   env::flag01
+//   ADAQP_FAULT_SEED / _DELAY_US / _REORDER / _SPLIT / _DROP_PERMILLE /
+//   _TIMEOUT_MS      src/transport/fault.cpp       env::int_in_range
 #pragma once
 
 #include <optional>

@@ -21,6 +21,7 @@
 #include "pipeline/trace.h"
 #include "quant/message_codec.h"
 #include "runtime/thread_pool.h"
+#include "transport/transport.h"
 
 namespace adaqp {
 
@@ -212,6 +213,16 @@ DistTrainer::DistTrainer(const Dataset& dataset, const DistGraph& dist,
                              std::vector<bool>(num_devices_, false));
     for (int l = 0; l < num_layers_; ++l)
       sancus_last_bcast_[l].resize(num_devices_);
+    // One wire channel per (layer, direction) broadcast lineage, claimed in
+    // deterministic order so replicated ranks agree (src/transport/).
+    sancus_fwd_chan_.resize(num_layers_);
+    sancus_bwd_chan_.resize(num_layers_);
+    sancus_fwd_round_.assign(num_layers_, 0);
+    sancus_bwd_round_.assign(num_layers_, 0);
+    for (int l = 0; l < num_layers_; ++l) {
+      sancus_fwd_chan_[l] = transport::next_channel();
+      sancus_bwd_chan_[l] = transport::next_channel();
+    }
   }
 
   // ---- Memory subsystem: cache the stable param set and resolve every
@@ -434,6 +445,8 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
       std::vector<std::vector<std::size_t>>& pair_bytes = sancus_pair_bytes_;
       for (auto& row : pair_bytes) std::fill(row.begin(), row.end(), 0);
       double comm = 0.0;
+      transport::Transport& tp = transport::active();
+      const std::uint32_t round = ++sancus_fwd_round_[l];
       for (int d = 0; d < num_devices_; ++d) {
         const DeviceGraph& dev = dist_.devices[d];
         // This device's outgoing boundary rows (precomputed union view).
@@ -473,7 +486,12 @@ EpochBreakdown DistTrainer::forward_exchange(int l) {
                            device_rngs_[d], wire_uniforms_, wire_block_);
           pair_bytes[d][p] = wire_block_.wire_bytes();
           comm += cluster_.transfer_seconds(d, p, wire_block_.wire_bytes());
-          decode_rows(wire_block_, acts_[l][p],
+          const transport::FrameTag tag{sancus_fwd_chan_[l], round,
+                                        /*direction=*/0,
+                                        static_cast<std::uint8_t>(d),
+                                        static_cast<std::uint8_t>(p)};
+          tp.send(tag, wire_block_.bytes);
+          decode_rows(tp.recv(tag, wire_block_.bytes), acts_[l][p],
                       dist_.devices[p].recv_local[d]);
         }
       }
@@ -713,6 +731,8 @@ EpochBreakdown DistTrainer::backward_exchange(int l,
       // (the gradient bias that slows SANCUS's convergence).
       std::vector<std::vector<std::size_t>>& pair_bytes = sancus_pair_bytes_;
       for (auto& row : pair_bytes) std::fill(row.begin(), row.end(), 0);
+      transport::Transport& tp = transport::active();
+      const std::uint32_t round = ++sancus_bwd_round_[l];
       for (int d = 0; d < num_devices_; ++d) {
         const DeviceGraph& dev = dist_.devices[d];
         for (int p = 0; p < num_devices_; ++p) {
@@ -723,6 +743,11 @@ EpochBreakdown DistTrainer::backward_exchange(int l,
           encode_rows_into(grads[d], dev.recv_local[p], bits,
                            device_rngs_[d], wire_uniforms_, wire_block_);
           pair_bytes[d][p] = wire_block_.wire_bytes();
+          const transport::FrameTag tag{sancus_bwd_chan_[l], round,
+                                        /*direction=*/1,
+                                        static_cast<std::uint8_t>(d),
+                                        static_cast<std::uint8_t>(p)};
+          tp.send(tag, wire_block_.bytes);
           // Accumulate into the owner's owned rows.
           const auto& rows = dist_.devices[p].send_local[d];
           Matrix& tmp = *sancus_tmp_;
@@ -730,7 +755,7 @@ EpochBreakdown DistTrainer::backward_exchange(int l,
           std::vector<NodeId>& seq = *sancus_seq_;
           while (seq.size() < rows.size())
             seq.push_back(static_cast<NodeId>(seq.size()));
-          decode_rows(wire_block_, tmp,
+          decode_rows(tp.recv(tag, wire_block_.bytes), tmp,
                       std::span<const NodeId>(seq.data(), rows.size()));
           for (std::size_t i = 0; i < rows.size(); ++i) {
             auto dst = grads[p].row(rows[i]);
@@ -1344,7 +1369,8 @@ EpochRecord DistTrainer::train_epoch() {
   alloc_report_.steady_state =
       epoch_ > 0 && !refresh_now && !opts_.eval_every_epoch &&
       !opts_.verbose && !analysis::racecheck_enabled() &&
-      !pipeline::TraceRecorder::instance().enabled();
+      !pipeline::TraceRecorder::instance().enabled() &&
+      transport::active().zero_alloc_delivery();
   if (alloc_report_.steady_state && memory::track_enabled() &&
       alloc_report_.total() != 0) {
     throw std::runtime_error(

@@ -385,6 +385,13 @@ class DistTrainer {
   Matrix* sancus_tmp_ = nullptr;                ///< backward decode staging
   std::vector<NodeId>* sancus_seq_ = nullptr;   ///< identity row list
   std::vector<std::vector<std::size_t>> sancus_pair_bytes_;
+  // SANCUS wire identity: per-(layer, direction) transport channels claimed
+  // at construction plus their round counters (one round per broadcast
+  // sweep), forming the FrameTags of the serial broadcast path.
+  std::vector<std::uint32_t> sancus_fwd_chan_;
+  std::vector<std::uint32_t> sancus_bwd_chan_;
+  std::vector<std::uint32_t> sancus_fwd_round_;
+  std::vector<std::uint32_t> sancus_bwd_round_;
 
   // Persistent synchronous exchanges, one per layer, built on first use.
   std::vector<std::unique_ptr<pipeline::AsyncExchange>> sync_fwd_ex_;

@@ -65,7 +65,8 @@ bool track_enabled() {
 const char* steady_state_definition() {
   return "steady-state epoch = any epoch after the first that does not run "
          "a bit-width plan refresh, with evaluation, ADAQP_TRACE, "
-         "ADAQP_RACECHECK and verbose reporting off";
+         "ADAQP_RACECHECK and verbose reporting off, over a zero-allocation "
+         "transport (loopback; wire backends buffer by design)";
 }
 
 }  // namespace adaqp::memory

@@ -191,6 +191,12 @@ const Instruments& instruments() {
                                               1000.0,  2500.0,  5000.0,
                                               10000.0, 25000.0, 50000.0,
                                               100000.0};
+    // Localhost connect + hello handshakes land in tens to hundreds of µs;
+    // retry storms during multi-process startup can reach seconds.
+    static constexpr double kRttBounds[] = {50.0,     100.0,    250.0,
+                                            500.0,    1000.0,   2500.0,
+                                            5000.0,   10000.0,  50000.0,
+                                            100000.0, 500000.0, 1000000.0};
     return new Instruments{
         r.counter("trainer.epochs"),
         r.counter("codec.encode_calls"),
@@ -214,6 +220,17 @@ const Instruments& instruments() {
         {&r.counter("assigner.bits.b2"), &r.counter("assigner.bits.b4"),
          &r.counter("assigner.bits.b8")},
         r.histogram("assigner.solve_us", kSolveBounds),
+        r.counter("transport.frames"),
+        r.counter("transport.bytes"),
+        r.counter("transport.wire_frames"),
+        r.counter("transport.wire_bytes"),
+        r.counter("transport.short_writes"),
+        r.counter("transport.reconnects"),
+        r.histogram("transport.rtt_us", kRttBounds),
+        r.counter("transport.fault.delays"),
+        r.counter("transport.fault.reorders"),
+        r.counter("transport.fault.splits"),
+        r.counter("transport.fault.drops"),
     };
   }();
   return *ins;

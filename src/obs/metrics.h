@@ -179,6 +179,18 @@ struct Instruments {
   /// Rows assigned per candidate width {2,4,8} across all solves.
   std::array<Counter*, 3> assigner_bits;
   Histogram& assigner_solve_us;       ///< per-solve wall time
+
+  Counter& transport_frames;          ///< frames delivered to receivers
+  Counter& transport_bytes;           ///< delivered payload bytes
+  Counter& transport_wire_frames;     ///< frames that crossed a byte stream
+  Counter& transport_wire_bytes;      ///< framed bytes written to streams
+  Counter& transport_short_writes;    ///< partial stream writes observed
+  Counter& transport_reconnects;      ///< tcp dial retries (refused/again)
+  Histogram& transport_rtt_us;        ///< tcp per-pair connect handshake time
+  Counter& transport_fault_delays;    ///< fault-injected delivery delays
+  Counter& transport_fault_reorders;  ///< fault-injected frame holds
+  Counter& transport_fault_splits;    ///< fault-injected frame fragmentations
+  Counter& transport_fault_drops;     ///< fault-injected frame drops
 };
 
 /// The process-wide catalog. First call registers every instrument.

@@ -9,6 +9,7 @@
 #include "quant/quantize.h"
 #include "runtime/thread_pool.h"
 #include "simd/kernels.h"
+#include "transport/transport.h"
 
 namespace adaqp::pipeline {
 
@@ -159,6 +160,7 @@ void ExchangeAccounting::warm(const DistGraph& dist, const ExchangePlan& plan,
 }
 
 void ExchangeAccounting::init(int n, std::vector<Rng>& device_rngs) {
+  ++round;  // first submit is round 1; round 0 is reserved for hellos
   if (static_cast<int>(pair_bytes.size()) != n) {
     init_storage(n);
   } else {
@@ -216,6 +218,12 @@ PairStages add_forward_exchange_stages(StageGraph& graph,
                                          sizeof(acct.blocks[d][p]),
                                          name + ".block"));
         add_pair_slots(acc, acct, d, p, name);
+        // Wire backends move the delivered payload into a stable per-pair
+        // inbox slot this stage then decodes from; declare that write so
+        // the checker covers the encode -> deliver -> decode chain.
+        if (const void* slot = transport::active().pair_slot(
+                acct.channel, /*direction=*/0, d, p))
+          acc.push_back(analysis::write_of(slot, 1, name + ".wire_slot"));
       }
       out.stage[d][p] = graph.add(
           name,
@@ -232,7 +240,15 @@ PairStages add_forward_exchange_stages(StageGraph& graph,
                 quantized_fp_bytes(bits, locals[d].cols());
             accumulate_width_bytes(bits, locals[d].cols(),
                                    acct.pair_width_bytes[d][p]);
-            decode_rows(acct.blocks[d][p], locals[p],
+            // Ship the encoded block and decode whatever the transport
+            // delivers — under loopback that is the block itself, zero-copy.
+            transport::Transport& tp = transport::active();
+            const transport::FrameTag tag{acct.channel, acct.round,
+                                          /*direction=*/0,
+                                          static_cast<std::uint8_t>(d),
+                                          static_cast<std::uint8_t>(p)};
+            tp.send(tag, acct.blocks[d][p].bytes);
+            decode_rows(tp.recv(tag, acct.blocks[d][p].bytes), locals[p],
                         dist.devices[p].recv_local[d]);
           },
           {}, std::move(acc));
@@ -280,6 +296,12 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
                                          sizeof(acct.blocks[d][p]),
                                          name + ".block"));
         add_pair_slots(acc, acct, d, p, name);
+        // The send side of the wire path; ordered against the owner's
+        // recv/decode by the enc -> acc dependency below, and annotated on
+        // the same slot so a schedule that broke that edge would flag.
+        if (const void* slot = transport::active().pair_slot(
+                acct.channel, /*direction=*/1, d, p))
+          acc.push_back(analysis::write_of(slot, 1, name + ".wire_slot"));
       }
       out.stage[d][p] = graph.add(
           name,
@@ -294,6 +316,11 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
                 quantized_fp_bytes(bits, grads[d].cols());
             accumulate_width_bytes(bits, grads[d].cols(),
                                    acct.pair_width_bytes[d][p]);
+            const transport::FrameTag tag{acct.channel, acct.round,
+                                          /*direction=*/1,
+                                          static_cast<std::uint8_t>(d),
+                                          static_cast<std::uint8_t>(p)};
+            transport::active().send(tag, acct.blocks[d][p].bytes);
           },
           enc_deps, std::move(acc));
     }
@@ -321,6 +348,9 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
         add_rows(acc, grads[p], dist.devices[p].send_local[d], kWrite,
                  "grad[d" + std::to_string(p) + "].boundary_rows(d" +
                      std::to_string(d) + ")");
+        if (const void* slot = transport::active().pair_slot(
+                acct.channel, /*direction=*/1, d, p))
+          acc.push_back(analysis::write_of(slot, 1, name + ".wire_slot"));
       }
     }
     out.owner_stage[p] = graph.add(
@@ -341,8 +371,13 @@ PairStages add_backward_exchange_stages(StageGraph& graph,
               for (std::size_t i = old; i < seq.size(); ++i)
                 seq[i] = static_cast<NodeId>(i);
             }
-            decode_rows(acct.blocks[d][p], decoded,
-                        {seq.data(), owner_rows.size()});
+            const transport::FrameTag tag{acct.channel, acct.round,
+                                          /*direction=*/1,
+                                          static_cast<std::uint8_t>(d),
+                                          static_cast<std::uint8_t>(p)};
+            decode_rows(
+                transport::active().recv(tag, acct.blocks[d][p].bytes),
+                decoded, {seq.data(), owner_rows.size()});
             for (std::size_t i = 0; i < owner_rows.size(); ++i) {
               auto dst = grads[p].row(owner_rows[i]);
               kt.ef_fold(dst.data(), decoded.row(i).data(), dst.data(),
@@ -439,6 +474,9 @@ void finalize_exchange_stats_into(const ExchangeAccounting& acct,
 AsyncExchange::AsyncExchange(const DistGraph& dist, const ClusterSpec& cluster)
     : dist_(dist), cluster_(cluster) {
   ADAQP_CHECK(cluster_.num_devices() == dist_.num_devices());
+  // Deterministic construction order makes replicated ranks agree on the
+  // channel without negotiation (see transport::next_channel()).
+  acct_.channel = transport::next_channel();
 }
 
 AsyncExchange::~AsyncExchange() {

@@ -64,6 +64,14 @@ struct ExchangeAccounting {
   std::vector<Matrix> acc_decoded;
   std::vector<std::vector<NodeId>> acc_seq;
 
+  /// Transport identity (src/transport/): the exchange's wire channel —
+  /// claimed from transport::next_channel() by whoever owns this accounting
+  /// — and the per-channel round ordinal init() advances on every submit.
+  /// With each message's (direction, src, dst) these form the FrameTag the
+  /// transport matches deliveries on.
+  std::uint32_t channel = 0;
+  std::uint32_t round = 0;
+
   void init(int n, std::vector<Rng>& device_rngs);
 
   /// Size the [sender][receiver] slot tables without deriving RNG streams

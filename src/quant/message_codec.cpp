@@ -82,8 +82,12 @@ void encode_rows_into(const Matrix& src, std::span<const NodeId> rows,
 
 void decode_rows(const EncodedBlock& block, Matrix& dst,
                  std::span<const NodeId> dst_rows) {
+  decode_rows(std::span<const std::uint8_t>(block.bytes), dst, dst_rows);
+}
+
+void decode_rows(std::span<const std::uint8_t> bytes, Matrix& dst,
+                 std::span<const NodeId> dst_rows) {
   const obs::Stopwatch sw;
-  std::span<const std::uint8_t> bytes(block.bytes);
   std::size_t pos = 0;
   ADAQP_CHECK_MSG(get_u32(bytes, pos) == kMagic, "codec: bad magic");
   const std::uint32_t count = get_u32(bytes, pos);

@@ -50,6 +50,12 @@ void encode_rows_into(const Matrix& src, std::span<const NodeId> rows,
 void decode_rows(const EncodedBlock& block, Matrix& dst,
                  std::span<const NodeId> dst_rows);
 
+/// Span form of decode_rows: decodes whatever bytes the transport delivered
+/// (src/transport/), which under loopback alias the sender's EncodedBlock
+/// and under a wire backend are the received copy. Same strict validation.
+void decode_rows(std::span<const std::uint8_t> bytes, Matrix& dst,
+                 std::span<const NodeId> dst_rows);
+
 /// Wire size that encode_rows would produce, without encoding (for the
 /// assigner's time objective and for Vanilla accounting).
 std::size_t encoded_wire_bytes(std::size_t num_rows, std::size_t dim,

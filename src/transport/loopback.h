@@ -1,0 +1,27 @@
+// In-process transport: the default backend, reproducing the pre-transport
+// behavior bit-exactly. send() is pure accounting; recv() hands the
+// locally-encoded payload straight back (zero-copy), so the decode reads
+// the same bytes the encode produced — and the steady-state exchange stays
+// allocation-free (zero_alloc_delivery).
+#pragma once
+
+#include "transport/transport.h"
+
+namespace adaqp::transport {
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport() = default;
+
+  const char* name() const override { return "loopback"; }
+
+  void send(const FrameTag& tag,
+            std::span<const std::uint8_t> payload) override;
+
+  std::span<const std::uint8_t> recv(
+      const FrameTag& tag, std::span<const std::uint8_t> local) override;
+
+  bool zero_alloc_delivery() const override { return true; }
+};
+
+}  // namespace adaqp::transport

@@ -1,0 +1,105 @@
+#include "transport/transport.h"
+
+#include <stdexcept>
+
+#include "common/env.h"
+#include "transport/fault.h"
+#include "transport/loopback.h"
+#include "transport/tcp.h"
+
+namespace adaqp::transport {
+
+namespace {
+
+std::atomic<std::uint32_t> g_next_channel{0};
+std::atomic<Transport*> g_override{nullptr};
+
+std::uint64_t fnv1a(std::uint64_t h, std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+TransportStats Transport::stats() const {
+  TransportStats s;
+  s.frames_delivered = frames_.load(std::memory_order_relaxed);
+  s.bytes_delivered = bytes_.load(std::memory_order_relaxed);
+  s.digest = digest_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Transport::reset_stats() {
+  frames_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  digest_.store(0, std::memory_order_relaxed);
+}
+
+void Transport::account_delivery(const FrameTag& tag,
+                                 std::span<const std::uint8_t> payload) {
+  // Per-frame FNV-1a over the channel-free tag and the payload, folded into
+  // the digest with XOR: order-independent across schedules and thread
+  // counts, sensitive to any delivered byte (see TransportStats).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a_u32(h, tag.round);
+  h = fnv1a_u32(h, (static_cast<std::uint32_t>(tag.direction) << 16) |
+                       (static_cast<std::uint32_t>(tag.src) << 8) |
+                       tag.dst);
+  h = fnv1a_u32(h, static_cast<std::uint32_t>(payload.size()));
+  h = fnv1a(h, payload);
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+  digest_.fetch_xor(h, std::memory_order_relaxed);
+}
+
+std::uint32_t next_channel() {
+  return g_next_channel.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::unique_ptr<Transport> make_from_env() {
+  const std::optional<std::string> kind = env::text("ADAQP_TRANSPORT");
+  std::unique_ptr<Transport> t;
+  if (!kind || *kind == "loopback") {
+    t = std::make_unique<LoopbackTransport>();
+  } else if (*kind == "tcp") {
+    t = std::make_unique<TcpTransport>(TcpOptions::from_env());
+  } else {
+    throw std::runtime_error(
+        "ADAQP_TRANSPORT must be \"loopback\" or \"tcp\", got \"" + *kind +
+        "\"");
+  }
+  if (env::flag01("ADAQP_FAULT", false))
+    t = std::make_unique<FaultInjectingTransport>(std::move(t),
+                                                  FaultSpec::from_env());
+  return t;
+}
+
+Transport& active() {
+  if (Transport* o = g_override.load(std::memory_order_acquire)) return *o;
+  // Process-lifetime singleton, resolved on first use (like the SIMD kernel
+  // registry); intentionally leaked so in-flight exchanges joined during
+  // static destruction can still reach it.
+  static Transport* global = make_from_env().release();
+  return *global;
+}
+
+ScopedTransport::ScopedTransport(std::unique_ptr<Transport> t)
+    : owned_(std::move(t)),
+      prev_(g_override.exchange(owned_.get(), std::memory_order_acq_rel)) {}
+
+ScopedTransport::~ScopedTransport() {
+  g_override.store(prev_, std::memory_order_release);
+}
+
+}  // namespace adaqp::transport

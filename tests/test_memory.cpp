@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,8 @@
 #include "obs/run_report.h"
 #include "pipeline/config.h"
 #include "runtime/thread_pool.h"
+#include "transport/loopback.h"
+#include "transport/transport.h"
 
 namespace adaqp {
 namespace {
@@ -137,6 +140,10 @@ std::vector<double> run_steady(const Dataset& ds, Method method, bool async,
                                bool expect_zero = true) {
   AsyncModeGuard async_guard(async);
   ThreadCountGuard thread_guard(threads);
+  // The zero-allocation contract only covers loopback delivery; pin it so
+  // this suite also passes in CI's ADAQP_TRANSPORT=tcp / ADAQP_FAULT legs.
+  transport::ScopedTransport loopback(
+      std::make_unique<transport::LoopbackTransport>());
   Rng rng(4242);
   const auto part = MultilevelPartitioner().partition(ds.graph, 4, rng);
   const DistGraph dist = build_dist_graph(ds.graph, part);
@@ -298,6 +305,8 @@ TEST(SteadyState, EvaluationEpochsAreExcludedFromTheContract) {
 /// in pre-allocated rows), warm epochs still allocate nothing — and the
 /// capture itself records that fact per epoch.
 TEST(SteadyState, MetricsCaptureKeepsWarmEpochsAllocationFree) {
+  transport::ScopedTransport loopback(
+      std::make_unique<transport::LoopbackTransport>());
   Rng rng(15);
   const Dataset ds = make_dataset(steady_spec(), rng);
   Rng prng(4242);

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "pipeline/config.h"
 #include "pipeline/stage_graph.h"
 #include "runtime/thread_pool.h"
+#include "transport/loopback.h"
+#include "transport/transport.h"
 
 namespace adaqp {
 namespace {
@@ -596,6 +599,11 @@ TEST(ProfileTrainer, SteadyStateStaysAllocationFreeWithProfilerArmed) {
 
   AsyncModeGuard async_guard(true);
   ThreadCountGuard thread_guard(4);
+  // The steady-state contract holds over a zero-allocation transport only
+  // (wire backends buffer by design) — pin loopback so the assertion below
+  // stays meaningful under the CI tcp/fault ctest passes.
+  transport::ScopedTransport loopback(
+      std::make_unique<transport::LoopbackTransport>());
   const ClusterSpec cluster = ClusterSpec::machines(2, 2);
   ModelConfig mc;
   mc.aggregator = Aggregator::kGcn;

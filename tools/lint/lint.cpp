@@ -43,6 +43,13 @@
 //                              dynamically by bench_alloc_steady_state;
 //                              this rule makes the reviewer-visible intent
 //                              explicit at the line that allocates.
+//   sockets-in-transport       Raw socket headers (<sys/socket.h>,
+//                              <netinet/...>, <arpa/inet.h>, <poll.h>) and
+//                              socket syscalls (socket/connect/bind/listen/
+//                              accept4/setsockopt/getsockname/poll) are
+//                              confined to src/transport/ — the rest of the
+//                              tree stays wire-agnostic behind the
+//                              Transport interface (docs/TRANSPORT.md).
 //
 // Exit status: 0 clean, 1 violations, 2 usage/IO error.
 #include <cstddef>
@@ -181,6 +188,7 @@ void lint_source_file(const fs::path& root, const fs::path& path) {
   const bool in_runtime = rel.rfind("src/runtime/", 0) == 0;
   const bool is_rng = rel == "src/common/rng.h" || rel == "src/common/rng.cpp";
   const bool is_env_impl = rel == "src/common/env.cpp";
+  const bool in_transport = rel.rfind("src/transport/", 0) == 0;
   const bool is_header = path.extension() == ".h";
 
   std::vector<std::string> lines;
@@ -235,6 +243,20 @@ void lint_source_file(const fs::path& root, const fs::path& path) {
                "allocation/growth in a hot-path file — pool it (memory/"
                "workspace.h) or annotate warmup-only lines with "
                "lint:allow(hot-path-alloc)");
+    }
+
+    if (!in_transport && !allows(raw, "sockets-in-transport")) {
+      const bool socket_include =
+          code.find("<sys/socket.h>") != std::string::npos ||
+          code.find("<netinet/") != std::string::npos ||
+          code.find("<arpa/inet.h>") != std::string::npos ||
+          code.find("<poll.h>") != std::string::npos;
+      if (socket_include || has_token(code, "socket(") ||
+          has_token(code, "accept4(") || has_token(code, "setsockopt") ||
+          has_token(code, "getsockname") || has_token(code, "poll("))
+        report(path, lineno, "sockets-in-transport",
+               "raw socket usage outside src/transport/ — go through the "
+               "Transport interface (transport/transport.h)");
     }
 
     if (!is_env_impl && !allows(raw, "env-via-helpers")) {
